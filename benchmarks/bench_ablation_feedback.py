@@ -1,0 +1,20 @@
+"""E-A3: ablation of the feedback loop (§2.3.2).
+
+LLM4FP with feedback disabled degenerates to Grammar-Guided; the rate gap
+is the loop's contribution (paper Table 2: 29.33% vs 16.47%).
+"""
+
+from __future__ import annotations
+
+from conftest import campaign_budget, once, save_artifact
+
+from repro.experiments.ablation import feedback_contribution, render_feedback
+from repro.experiments.settings import ExperimentSettings
+
+
+def bench_ablation_feedback(benchmark, out_dir):
+    settings = ExperimentSettings(budget=campaign_budget())
+    result = once(benchmark, lambda: feedback_contribution(settings))
+    save_artifact(out_dir, "ablation_feedback.txt", render_feedback(result))
+
+    assert result["gain"] > 0, result

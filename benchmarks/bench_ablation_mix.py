@@ -1,0 +1,26 @@
+"""E-A1: ablation of the grammar/mutation strategy split (§3.1.4).
+
+The paper fixes the mix at 0.3 grammar / 0.7 mutation.  Sweeping the
+mutation probability shows the feedback loop's value: rate at p=0 (pure
+grammar regeneration) is the Grammar-Guided floor, and rates improve as
+mutation reuses successful programs.
+"""
+
+from __future__ import annotations
+
+from conftest import campaign_budget, once, save_artifact
+
+from repro.experiments.ablation import render_mix, sweep_mutation_prob
+from repro.experiments.settings import ExperimentSettings
+
+_PROBS = (0.0, 0.5, 0.9)
+
+
+def bench_ablation_mix(benchmark, out_dir):
+    settings = ExperimentSettings(budget=campaign_budget())
+    points = once(benchmark, lambda: sweep_mutation_prob(settings, _PROBS))
+    save_artifact(out_dir, "ablation_mix.txt", render_mix(points))
+
+    by_prob = {pt.mutation_prob: pt.inconsistency_rate for pt in points}
+    # Mutation reuse beats pure grammar regeneration.
+    assert max(by_prob[0.5], by_prob[0.9]) > by_prob[0.0]

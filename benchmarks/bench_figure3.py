@@ -1,0 +1,43 @@
+"""E-F3: regenerate Figure 3 — inconsistency kinds, Varity vs LLM4FP.
+
+Paper shape: 98.48% of LLM4FP's inconsistencies are {Real, Real} (~13x
+Varity's count of that kind), while Varity's distribution is spread across
+extreme-value kinds (NaN / infinities).
+"""
+
+from __future__ import annotations
+
+from conftest import once, save_artifact
+
+from repro.experiments import figure3
+from repro.fp.classify import FPClass
+
+
+def _shares(series: dict[str, int]) -> tuple[float, float]:
+    """(share of {Real, Real}, share of extreme-value kinds)."""
+    total = sum(series.values()) or 1
+    real_real = series.get("{Real, Real}", 0)
+    extreme = sum(
+        n
+        for label, n in series.items()
+        if any(tag in label for tag in ("NaN", "Inf"))
+    )
+    return real_real / total, extreme / total
+
+
+def bench_figure3(benchmark, ctx, out_dir):
+    series = once(benchmark, lambda: figure3.compute(ctx))
+    save_artifact(out_dir, "figure3.txt", figure3.render(series, ctx.settings.budget))
+
+    llm_real, llm_extreme = _shares(series["llm4fp"])
+    var_real, var_extreme = _shares(series["varity"])
+
+    # LLM4FP: overwhelmingly {Real, Real} (paper: 98.48%).
+    assert llm_real >= 0.90
+    # LLM4FP finds many more {Real, Real} inconsistencies than Varity
+    # (paper: ~13x).
+    assert series["llm4fp"]["{Real, Real}"] >= 3 * max(
+        1, series["varity"]["{Real, Real}"]
+    )
+    # Varity's mix is far heavier in extreme-value kinds than LLM4FP's.
+    assert var_extreme > llm_extreme

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the substrates under every experiment.
+
+These are proper statistical benchmarks (pytest-benchmark rounds): the
+per-program compile+execute cost per simulated compiler, the exact-FMA
+primitive, the libm models, and the diversity metrics.  They bound the
+campaign throughput reported next to Table 2's time-cost column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fp.fma import fma
+from repro.fp.mathlib import CudaLibm, HostLibm
+from repro.metrics.clones import detect_clones
+from repro.metrics.codebleu import codebleu
+from repro.toolchains import ClangCompiler, GccCompiler, NvccCompiler, OptLevel
+
+_SOURCE = """
+#include <stdio.h>
+#include <math.h>
+void compute(double a, double b, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    comp += sin(a + i) * b - a * b + 0.125;
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) {
+  compute(atof(argv[1]), atof(argv[2]), atoi(argv[3]));
+  return 0;
+}
+"""
+
+_INPUTS = (0.37, 1.91, 23)
+
+_OTHER = _SOURCE.replace("sin", "cos").replace("0.125", "0.5")
+
+
+@pytest.mark.parametrize(
+    "compiler", [GccCompiler(), ClangCompiler(), NvccCompiler()], ids=lambda c: c.name
+)
+def bench_compile_and_run(benchmark, compiler):
+    def pipeline():
+        binary = compiler.compile_source(_SOURCE, OptLevel.O3)
+        return binary.run(_INPUTS).signature()
+
+    sig = benchmark(pipeline)
+    assert sig is not None
+
+
+def bench_compile_all_levels(benchmark):
+    gcc = GccCompiler()
+
+    def pipeline():
+        return [
+            gcc.compile_source(_SOURCE, level).run(_INPUTS).ok
+            for level in OptLevel
+        ]
+
+    assert all(benchmark(pipeline))
+
+
+def bench_fma_exact(benchmark):
+    result = benchmark(fma, 1.0 + 2.0**-30, 1.0 - 2.0**-29, -1.0)
+    assert result != 0.0
+
+
+def bench_host_libm(benchmark):
+    libm = HostLibm()
+    benchmark(libm.call, "sin", (0.7391,))
+
+
+def bench_cuda_libm(benchmark):
+    libm = CudaLibm()
+    benchmark(libm.call, "sin", (0.7391,))
+
+
+def bench_codebleu_pair(benchmark):
+    score = benchmark(codebleu, _SOURCE, _OTHER)
+    assert 0.0 < score.score < 1.0
+
+
+def bench_clone_detection(benchmark):
+    corpus = [_SOURCE, _OTHER] * 10
+    report = benchmark(detect_clones, corpus)
+    assert report.count is not None

@@ -1,0 +1,42 @@
+"""E-T3: regenerate Table 3 — LLM4FP inconsistency kinds per level.
+
+Paper shape: {Real, Real} appears at *every* optimization level with
+comparable counts (relatively stable); O3_fastmath contributes the most
+inconsistencies; extreme-value kinds are rare and concentrated in
+O3_fastmath.
+"""
+
+from __future__ import annotations
+
+from conftest import once, save_artifact
+
+from repro.experiments import table3
+from repro.fp.classify import FPClass
+from repro.toolchains.optlevels import OptLevel
+
+
+def bench_table3(benchmark, ctx, out_dir):
+    by_level = once(benchmark, lambda: table3.compute(ctx))
+    save_artifact(out_dir, "table3.txt", table3.render(by_level, ctx.settings.budget))
+
+    real_real = {
+        level: kc.get(FPClass.REAL, FPClass.REAL) for level, kc in by_level.items()
+    }
+    totals = {level: kc.total for level, kc in by_level.items()}
+
+    # {Real, Real} is observed at every level.
+    assert all(n > 0 for n in real_real.values()), real_real
+
+    # O3_fastmath contributes the most inconsistencies.
+    fastmath = totals[OptLevel.O3_FASTMATH]
+    assert fastmath == max(totals.values())
+
+    # Extreme-value kinds concentrate in O3_fastmath: levels below it are
+    # (almost) purely {Real, Real}.
+    for level, kc in by_level.items():
+        if level is OptLevel.O3_FASTMATH:
+            continue
+        extreme = kc.total - kc.get(FPClass.REAL, FPClass.REAL) - kc.get(
+            FPClass.REAL, FPClass.ZERO
+        )
+        assert extreme <= max(2, 0.05 * kc.total), (level, dict(kc.counts))

@@ -1,0 +1,63 @@
+"""E-T4: regenerate Table 4 — rates and digit differences per compiler pair.
+
+Paper shape:
+
+* host-device pairs (gcc,nvcc / clang,nvcc) have far higher total rates
+  than the host-host pair (gcc,clang) for both approaches;
+* O3_fastmath is each pair's worst level;
+* LLM4FP triggers host-device inconsistencies broadly across *all* levels
+  (~2% per level), where Varity's non-fastmath levels stay below 1%;
+* LLM4FP's average digit differences are small (subtle divergence) —
+  lower than Varity's on host-device pairs.
+"""
+
+from __future__ import annotations
+
+from conftest import once, save_artifact
+
+from repro.experiments import table4
+from repro.toolchains.optlevels import ALL_LEVELS, OptLevel
+
+
+def _total_rate(cells, pair) -> float:
+    return sum(c.rate for c in cells[pair].values())
+
+
+def bench_table4(benchmark, ctx, out_dir):
+    data = once(benchmark, lambda: table4.compute(ctx))
+    save_artifact(out_dir, "table4.txt", table4.render(data, ctx.settings.budget))
+
+    for approach, cells in data.items():
+        host_host = _total_rate(cells, ("gcc", "clang"))
+        gcc_nvcc = _total_rate(cells, ("gcc", "nvcc"))
+        clang_nvcc = _total_rate(cells, ("clang", "nvcc"))
+        # Host-device dominates host-host.
+        assert gcc_nvcc > host_host, approach
+        assert clang_nvcc > host_host, approach
+
+    # LLM4FP keeps finding host-device inconsistencies at every level.
+    llm_cells = data["llm4fp"]
+    for level in ALL_LEVELS:
+        assert llm_cells[("gcc", "nvcc")][level].inconsistencies > 0, level
+
+    # Varity's host-host inconsistencies essentially need fast math.
+    var_hh = data["varity"][("gcc", "clang")]
+    fastmath_count = var_hh[OptLevel.O3_FASTMATH].inconsistencies
+    below = sum(
+        var_hh[lvl].inconsistencies
+        for lvl in ALL_LEVELS
+        if lvl is not OptLevel.O3_FASTMATH
+    )
+    assert fastmath_count >= below
+
+    # Subtlety: LLM4FP's average digit difference on host-device pairs is
+    # smaller than Varity's (paper: ~1-3 digits vs ~4-8).
+    def avg_digits(cells, pair) -> float:
+        stats = [c.digits for c in cells[pair].values() if c.digits.count > 0]
+        if not stats:
+            return 0.0
+        return sum(s.avg * s.count for s in stats) / sum(s.count for s in stats)
+
+    assert avg_digits(llm_cells, ("gcc", "nvcc")) < avg_digits(
+        data["varity"], ("gcc", "nvcc")
+    )

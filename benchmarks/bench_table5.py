@@ -1,0 +1,53 @@
+"""E-T5: regenerate Table 5 — each level vs O0_nofma, within one compiler.
+
+Paper shape:
+
+* Varity only really detects differences at O3_fastmath (rates at O0-O3
+  near zero); LLM4FP reports higher rates across all levels;
+* O3_fastmath is the worst level for the host compilers;
+* summed over levels, LLM4FP exceeds Varity for every compiler;
+* nvcc differs from its own O0_nofma even at O0 (FMA contraction) under
+  LLM4FP — the flat nonzero nvcc column.
+"""
+
+from __future__ import annotations
+
+from conftest import once, save_artifact
+
+from repro.experiments import table5
+from repro.toolchains.optlevels import OptLevel
+
+
+def bench_table5(benchmark, ctx, out_dir):
+    data = once(benchmark, lambda: table5.compute(ctx))
+    save_artifact(out_dir, "table5.txt", table5.render(data, ctx.settings.budget))
+
+    varity, llm4fp = data["varity"], data["llm4fp"]
+
+    for compiler in ("gcc", "clang", "nvcc"):
+        total_var = sum(varity[compiler].values())
+        total_llm = sum(llm4fp[compiler].values())
+        # LLM4FP finds more within-compiler variation everywhere.
+        assert total_llm >= total_var, compiler
+
+    # Hosts: O3_fastmath is the worst level for both approaches.
+    for compiler in ("gcc", "clang"):
+        rates = llm4fp[compiler]
+        assert rates[OptLevel.O3_FASTMATH] == max(rates.values()), compiler
+
+    # nvcc's column is flat (contraction is level-independent from O0 up)
+    # and the smallest of the three: the paper's "nvcc is the most stable".
+    nvcc_rates = list(llm4fp["nvcc"].values())
+    assert max(nvcc_rates) - min(nvcc_rates) < 1e-9
+    assert sum(llm4fp["nvcc"].values()) <= sum(llm4fp["gcc"].values())
+    assert sum(llm4fp["nvcc"].values()) <= sum(llm4fp["clang"].values())
+
+    # Varity's host rates below O3_fastmath are (near) zero — it needs
+    # aggressive optimization to see within-compiler differences.
+    for compiler in ("gcc", "clang"):
+        below = sum(
+            rate
+            for lvl, rate in varity[compiler].items()
+            if lvl is not OptLevel.O3_FASTMATH
+        )
+        assert below <= varity[compiler][OptLevel.O3_FASTMATH] + 1e-9, compiler

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one paper artefact (a table or figure)
+and asserts its *shape* — who wins, by roughly what factor, where the mass
+concentrates — rather than absolute numbers, which depend on the budget.
+
+The campaign budget defaults to a size that completes in minutes; override
+with ``REPRO_BENCH_BUDGET`` for tighter statistics (the paper uses 1,000):
+
+    REPRO_BENCH_BUDGET=200 pytest benchmarks/ --benchmark-only
+
+Rendered artefacts are written to ``benchmarks/out/`` for inspection and
+for the EXPERIMENTS.md paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.settings import ExperimentSettings
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def campaign_budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_BUDGET", "100"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One campaign per approach, shared by every artefact benchmark."""
+    settings = ExperimentSettings(budget=campaign_budget())
+    return ExperimentContext(settings)
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(out_dir: Path, name: str, rendered: str) -> None:
+    (out_dir / name).write_text(rendered + "\n", encoding="utf-8")
+    print("\n" + rendered)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Campaign-scale artefacts are far too heavy for statistical rounds; a
+    single timed round still reports the regeneration cost per artefact.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""LLM4FP reproduction: LLM-guided floating-point differential compiler testing.
+
+Quickstart::
+
+    from repro import SplittableRng, make_generator, run_campaign, default_compilers
+    from repro.difftest import CampaignConfig, CampaignReport
+
+    rng = SplittableRng(42)
+    generator = make_generator("llm4fp", rng)
+    result = run_campaign(generator, default_compilers(), CampaignConfig(budget=50))
+    print(CampaignReport(result).summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.harness import DifferentialHarness, run_campaign
+from repro.difftest.report import CampaignReport
+from repro.experiments.approaches import APPROACHES, make_generator
+from repro.fp.formats import Precision
+from repro.generation import SimLLM, VarityGenerator
+from repro.toolchains import default_compilers, OptLevel
+from repro.utils.rng import SplittableRng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CampaignConfig",
+    "DifferentialHarness",
+    "run_campaign",
+    "CampaignReport",
+    "APPROACHES",
+    "make_generator",
+    "Precision",
+    "SimLLM",
+    "VarityGenerator",
+    "default_compilers",
+    "OptLevel",
+    "SplittableRng",
+]

@@ -1,0 +1,112 @@
+"""The ``llm4fp`` command-line interface.
+
+    llm4fp run --approach llm4fp --budget 100 --seed 1
+    llm4fp tables table2 table5
+    llm4fp show-prompt grammar
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.harness import run_campaign
+from repro.difftest.report import CampaignReport
+from repro.experiments import table2, table3, table4, table5, figure3
+from repro.experiments.approaches import APPROACHES, make_generator
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.settings import ExperimentSettings
+from repro.fp.formats import Precision
+from repro.generation.prompts import direct_prompt, grammar_prompt, mutation_prompt
+from repro.toolchains import default_compilers
+from repro.utils.rng import SplittableRng
+from repro.utils.timing import format_hms
+
+_TABLES = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "figure3": figure3.run,
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    rng = SplittableRng(args.seed, f"cli-{args.approach}")
+    generator = make_generator(args.approach, rng)
+    config = CampaignConfig(budget=args.budget, seed=args.seed)
+    result = run_campaign(generator, default_compilers(), config)
+    report = CampaignReport(result)
+    s = report.summary()
+    print(f"approach:             {s['approach']}")
+    print(f"programs:             {args.budget}")
+    print(f"total comparisons:    {s['total_comparisons']:,}")
+    print(f"inconsistencies:      {s['inconsistencies']:,}")
+    print(f"inconsistency rate:   {s['inconsistency_rate'] * 100:.2f}%")
+    print(f"triggering programs:  {s['triggering_programs']}")
+    print(f"time cost:            {format_hms(s['time_seconds'])}")
+    kinds = report.kind_counts().as_labels()
+    if kinds:
+        print("kinds:")
+        for label, count in kinds.items():
+            print(f"  {label:<16} {count}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(budget=args.budget, seed=args.seed)
+    ctx = ExperimentContext(settings)
+    names = args.names or list(_TABLES)
+    for name in names:
+        runner = _TABLES.get(name)
+        if runner is None:
+            print(f"unknown artefact {name!r}", file=sys.stderr)
+            return 2
+        print(runner(ctx))
+        print()
+    return 0
+
+
+def _cmd_show_prompt(args: argparse.Namespace) -> int:
+    if args.kind == "direct":
+        print(direct_prompt(Precision.DOUBLE))
+    elif args.kind == "grammar":
+        print(grammar_prompt(Precision.DOUBLE))
+    else:
+        example = (
+            "#include <stdio.h>\n#include <math.h>\n"
+            "void compute(double x) { double comp = sin(x);"
+            ' printf("%.17g\\n", comp); }\n'
+            "int main(int argc, char **argv) { compute(atof(argv[1])); return 0; }"
+        )
+        print(mutation_prompt(example, Precision.DOUBLE))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="llm4fp", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one approach's campaign")
+    p_run.add_argument("--approach", choices=APPROACHES, default="llm4fp")
+    p_run.add_argument("--budget", type=int, default=100)
+    p_run.add_argument("--seed", type=int, default=20250916)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_tab = sub.add_parser("tables", help="regenerate paper tables/figures")
+    p_tab.add_argument("names", nargs="*", help=f"subset of {list(_TABLES)}")
+    p_tab.add_argument("--budget", type=int, default=200)
+    p_tab.add_argument("--seed", type=int, default=20250916)
+    p_tab.set_defaults(func=_cmd_tables)
+
+    p_show = sub.add_parser("show-prompt", help="print one of the paper's prompts")
+    p_show.add_argument("kind", choices=("direct", "grammar", "mutation"))
+    p_show.set_defaults(func=_cmd_show_prompt)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

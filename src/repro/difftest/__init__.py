@@ -1,0 +1,31 @@
+"""Differential testing: the campaign loop of the paper's Figure 1.
+
+Generate -> compile with every (compiler, level) -> run -> compare outputs
+bitwise for every compiler pair at each level -> classify -> feed successes
+back to the generator.
+"""
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.compare import digit_difference, compare_signatures
+from repro.difftest.classify import inconsistency_kind, KindCount
+from repro.difftest.record import (
+    ComparisonRecord,
+    ProgramOutcome,
+    CampaignResult,
+)
+from repro.difftest.harness import DifferentialHarness, run_campaign
+from repro.difftest.report import CampaignReport
+
+__all__ = [
+    "CampaignConfig",
+    "digit_difference",
+    "compare_signatures",
+    "inconsistency_kind",
+    "KindCount",
+    "ComparisonRecord",
+    "ProgramOutcome",
+    "CampaignResult",
+    "DifferentialHarness",
+    "run_campaign",
+    "CampaignReport",
+]

@@ -1,0 +1,68 @@
+"""Inconsistency-kind classification (paper §3.3, RQ2).
+
+An inconsistency between results ``r_i != r_j`` is labelled by the
+unordered pair of their numerical categories in
+{Real, Zero, +Inf, -Inf, NaN}; e.g. a real number vs. a zero counts once as
+{Real, Zero}.  The eleven possible kinds are the x-axis of Figure 3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import combinations, combinations_with_replacement
+
+from repro.fp.classify import CLASS_ORDER, FPClass, classify_double
+
+__all__ = ["inconsistency_kind", "ALL_KINDS", "kind_label", "KindCount"]
+
+
+def inconsistency_kind(a: float, b: float) -> frozenset[FPClass]:
+    """The unordered category pair of an inconsistent result pair."""
+    return frozenset((classify_double(a), classify_double(b)))
+
+
+def kind_label(kind: frozenset[FPClass]) -> str:
+    """Human-readable label in the paper's Figure 3 ordering, e.g.
+    '{Real, NaN}'."""
+    members = sorted(kind, key=CLASS_ORDER.index)
+    if len(members) == 1:
+        members = members * 2
+    return "{" + ", ".join(str(m) for m in members) + "}"
+
+
+#: All unordered category pairs, in Figure 3 order: same-class pairs first
+#: ({Real, Real}), then mixed pairs.
+ALL_KINDS: tuple[frozenset[FPClass], ...] = tuple(
+    frozenset(pair)
+    for pair in combinations_with_replacement(CLASS_ORDER, 2)
+)
+
+
+@dataclass
+class KindCount:
+    """A tally of inconsistency kinds (one bar group of Figure 3)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, a: float, b: float) -> None:
+        self.counts[inconsistency_kind(a, b)] += 1
+
+    def merge(self, other: "KindCount") -> None:
+        self.counts.update(other.counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def get(self, *classes: FPClass) -> int:
+        return self.counts.get(frozenset(classes), 0)
+
+    def as_labels(self) -> dict[str, int]:
+        """Nonzero kinds as {label: count}, Figure 3 ordering."""
+        out: dict[str, int] = {}
+        for kind in ALL_KINDS:
+            n = self.counts.get(kind, 0)
+            if n:
+                out[kind_label(kind)] = n
+        return out

@@ -1,0 +1,32 @@
+"""Bitwise output comparison (paper §2.4, §3.4).
+
+Two outputs are inconsistent when their hexadecimal encodings differ; the
+*digit difference* counts how many of the 16 hex digits of the final result
+differ, the severity measure of Table 4 (min/max/avg columns).
+"""
+
+from __future__ import annotations
+
+from repro.fp.bits import double_to_hex
+
+__all__ = ["compare_signatures", "digit_difference", "value_digit_difference"]
+
+
+def compare_signatures(a: str | None, b: str | None) -> bool | None:
+    """True if consistent, False if inconsistent, None if not comparable
+    (either side failed to compile or run)."""
+    if a is None or b is None:
+        return None
+    return a == b
+
+
+def digit_difference(hex_a: str, hex_b: str) -> int:
+    """Number of differing hex digits between two equal-length encodings."""
+    if len(hex_a) != len(hex_b):
+        raise ValueError("signatures have different shapes")
+    return sum(1 for ca, cb in zip(hex_a, hex_b) if ca != cb)
+
+
+def value_digit_difference(a: float, b: float) -> int:
+    """Digit difference between two doubles' 16-digit encodings."""
+    return digit_difference(double_to_hex(a), double_to_hex(b))

@@ -1,0 +1,33 @@
+"""Campaign configuration (paper §3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.toolchains.optlevels import ALL_LEVELS, OptLevel
+
+__all__ = ["CampaignConfig"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one differential-testing campaign.
+
+    Defaults mirror the paper: 1,000 programs, all six Table 1 levels,
+    3 compilers => 3 pairs x 6 levels x N programs = 18N comparisons.
+    """
+
+    budget: int = 1000
+    levels: tuple[OptLevel, ...] = ALL_LEVELS
+    max_steps: int = 2_000_000
+    seed: int = 20250916
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if not self.levels:
+            raise ValueError("need at least one optimization level")
+
+    def total_comparisons(self, n_compilers: int) -> int:
+        pairs = n_compilers * (n_compilers - 1) // 2
+        return pairs * len(self.levels) * self.budget

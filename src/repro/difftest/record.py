@@ -1,0 +1,109 @@
+"""Result records produced by a campaign."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.difftest.classify import inconsistency_kind
+from repro.difftest.compare import digit_difference
+from repro.fp.classify import FPClass
+from repro.generation.program import GeneratedProgram
+from repro.toolchains.optlevels import OptLevel
+
+__all__ = ["ComparisonRecord", "ProgramOutcome", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """One pairwise output comparison at one optimization level."""
+
+    program_index: int
+    compiler_a: str
+    compiler_b: str
+    level: OptLevel
+    consistent: bool
+    value_a: float | None = None
+    value_b: float | None = None
+    digit_diff: int = 0
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.compiler_a, self.compiler_b)
+
+    @property
+    def kind(self) -> frozenset[FPClass] | None:
+        if self.consistent or self.value_a is None or self.value_b is None:
+            return None
+        return inconsistency_kind(self.value_a, self.value_b)
+
+
+@dataclass
+class ProgramOutcome:
+    """Everything observed for one generated program."""
+
+    index: int
+    program: GeneratedProgram
+    compiled: dict[str, bool] = field(default_factory=dict)  # "gcc/O2" -> ok
+    ran: dict[str, bool] = field(default_factory=dict)
+    comparisons: list[ComparisonRecord] = field(default_factory=list)
+    triggered: bool = False  # at least one inconsistency -> successful set
+    #: per-binary outputs ("gcc/O2" -> hex signature / final value), kept for
+    #: the within-compiler RQ4 analysis (each level vs O0_nofma).
+    signatures: dict[str, str] = field(default_factory=dict)
+    values: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def inconsistent_comparisons(self) -> list[ComparisonRecord]:
+        return [c for c in self.comparisons if not c.consistent]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of one approach's full campaign."""
+
+    approach: str
+    budget: int
+    levels: tuple[OptLevel, ...]
+    compilers: tuple[str, ...]
+    outcomes: list[ProgramOutcome] = field(default_factory=list)
+    generation_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    llm_latency_seconds: float = 0.0
+
+    @property
+    def comparisons(self) -> list[ComparisonRecord]:
+        return [c for o in self.outcomes for c in o.comparisons]
+
+    @property
+    def total_comparisons(self) -> int:
+        """The paper's denominator: C(compilers,2) x levels x programs —
+        comparisons that could not run (compile/run failure) still count."""
+        pairs = len(self.compilers) * (len(self.compilers) - 1) // 2
+        return pairs * len(self.levels) * self.budget
+
+    @property
+    def inconsistencies(self) -> int:
+        return sum(1 for c in self.comparisons if not c.consistent)
+
+    @property
+    def inconsistency_rate(self) -> float:
+        total = self.total_comparisons
+        return self.inconsistencies / total if total else 0.0
+
+    @property
+    def triggering_programs(self) -> int:
+        return sum(1 for o in self.outcomes if o.triggered)
+
+    @property
+    def sources(self) -> list[str]:
+        return [o.program.source for o in self.outcomes]
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.generation_seconds
+            + self.compile_seconds
+            + self.execute_seconds
+            + self.llm_latency_seconds
+        )

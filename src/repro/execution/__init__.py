@@ -1,0 +1,7 @@
+"""Deterministic IR interpreter — the 'hardware' the simulated binaries run on."""
+
+from repro.execution.interp import Interpreter
+from repro.execution.result import ExecutionResult, ExecStatus
+from repro.execution.limits import DEFAULT_MAX_STEPS
+
+__all__ = ["Interpreter", "ExecutionResult", "ExecStatus", "DEFAULT_MAX_STEPS"]

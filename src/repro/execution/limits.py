@@ -1,0 +1,13 @@
+"""Execution budgets.
+
+Generated programs are small kernels, but mutation can produce deep nested
+loops; the step budget bounds interpretation the way a watchdog timeout
+bounds a real test harness.
+"""
+
+#: Interpreter steps (expression nodes + statements) before giving up.
+DEFAULT_MAX_STEPS: int = 2_000_000
+
+#: C int limits; signed overflow is UB and traps.
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1

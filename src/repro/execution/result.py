@@ -1,0 +1,56 @@
+"""Execution outcomes and the output signature used by differential testing."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.fp.bits import double_to_hex
+
+#: All NaNs encode identically in signatures.  The paper's five-class
+#: analysis has a single NaN category and no {NaN, NaN} inconsistency kind;
+#: treating payload/sign-only NaN differences as inconsistencies would
+#: introduce a category outside Figure 3's taxonomy.
+_CANONICAL_NAN_HEX = "7ff8000000000000"
+
+
+def _value_hex(v: float) -> str:
+    if math.isnan(v):
+        return _CANONICAL_NAN_HEX
+    return double_to_hex(v)
+
+
+class ExecStatus(enum.Enum):
+    OK = "ok"
+    TRAP = "trap"  # undefined behaviour detected (discard program)
+    STEP_LIMIT = "step-limit"  # runaway loop (discard program)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """One binary's observable behaviour on one input vector."""
+
+    status: ExecStatus
+    printed: tuple[float, ...] = ()
+    stdout: str = ""
+    error: str | None = None
+    steps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ExecStatus.OK
+
+    @property
+    def value(self) -> float | None:
+        """The program's result: the last value printed (the paper's
+        ``compute`` prints its final scalar)."""
+        return self.printed[-1] if self.printed else None
+
+    def signature(self) -> str | None:
+        """Bitwise output encoding: 16 hex digits per printed double,
+        ':'-joined (NaNs canonicalized).  Two runs are *consistent* iff
+        signatures are equal — the paper's §2.4 comparison."""
+        if not self.ok:
+            return None
+        return ":".join(_value_hex(v) for v in self.printed)

@@ -1,0 +1,18 @@
+"""Experiment runners: one module per paper artefact (Tables 2-5, Figure 3).
+
+``python -m repro.experiments <table2|table3|table4|table5|figure3|all>``
+regenerates the corresponding artefact; the budget defaults to a
+laptop-friendly size and scales to the paper's 1,000 programs via
+``REPRO_BUDGET=1000``.
+"""
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.approaches import APPROACHES, make_generator
+from repro.experiments.runner import ExperimentContext
+
+__all__ = [
+    "ExperimentSettings",
+    "APPROACHES",
+    "make_generator",
+    "ExperimentContext",
+]

@@ -1,0 +1,56 @@
+"""Factories for the paper's four approaches (§3.2.1)."""
+
+from __future__ import annotations
+
+from repro.fp.formats import Precision
+from repro.generation.llm.base import GenerationConfig, LatencyModel
+from repro.generation.llm.generator import LLMProgramGenerator
+from repro.generation.llm.simllm import SimLLM
+from repro.generation.program import ProgramGenerator
+from repro.generation.varity import VarityGenerator
+from repro.utils.rng import SplittableRng
+
+__all__ = ["APPROACHES", "make_generator"]
+
+#: Paper Table 2 order.
+APPROACHES: tuple[str, ...] = ("varity", "direct-prompt", "grammar-guided", "llm4fp")
+
+#: §3.2.3: Varity's pipeline is ~30 min for 1,000 programs while LLM
+#: approaches run 4-6 h, dominated by API latency — about 15 s per call.
+_LLM_MEAN_LATENCY_SECONDS = 15.0
+
+
+def make_generator(
+    approach: str,
+    rng: SplittableRng,
+    precision: Precision = Precision.DOUBLE,
+    config: GenerationConfig | None = None,
+    model_latency: bool = False,
+    mutation_prob: float = 0.7,
+) -> ProgramGenerator:
+    """Build the generator for one approach name.
+
+    * ``varity``         — random grammar-based generation, wide inputs.
+    * ``direct-prompt``  — SimLLM, no grammar in the prompt, no feedback.
+    * ``grammar-guided`` — SimLLM with the Figure 2 grammar in the prompt.
+    * ``llm4fp``         — grammar + feedback mutation (0.3/0.7 split).
+    """
+    if approach == "varity":
+        return VarityGenerator(rng)
+    if approach not in APPROACHES:
+        raise ValueError(f"unknown approach {approach!r}; expected one of {APPROACHES}")
+    latency = None
+    if model_latency:
+        latency = LatencyModel(
+            rng.split(f"latency-{approach}"), mean_seconds=_LLM_MEAN_LATENCY_SECONDS
+        )
+    llm = SimLLM(rng.split(f"llm-{approach}"), config=config, latency=latency)
+    return LLMProgramGenerator(
+        name=approach,
+        llm=llm,
+        rng=rng,
+        precision=precision,
+        use_grammar=(approach != "direct-prompt"),
+        use_feedback=(approach == "llm4fp"),
+        mutation_prob=mutation_prob,
+    )

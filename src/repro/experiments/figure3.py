@@ -1,0 +1,43 @@
+"""Figure 3: inconsistency counts per kind, Varity vs LLM4FP."""
+
+from __future__ import annotations
+
+from repro.difftest.classify import ALL_KINDS, kind_label
+from repro.experiments.runner import ExperimentContext
+from repro.utils.tables import TextTable
+
+__all__ = ["compute", "render", "run"]
+
+
+def compute(ctx: ExperimentContext) -> dict[str, dict[str, int]]:
+    """{approach: {kind label: count}} for the two Figure 3 series."""
+    out: dict[str, dict[str, int]] = {}
+    for approach in ("varity", "llm4fp"):
+        kinds = ctx.report(approach).kind_counts()
+        out[approach] = {
+            kind_label(kind): kinds.counts.get(kind, 0) for kind in ALL_KINDS
+        }
+    return out
+
+
+def render(series: dict[str, dict[str, int]], budget: int) -> str:
+    labels = list(next(iter(series.values())).keys())
+    table = TextTable(
+        ["Kind", "VARITY", "LLM4FP"],
+        title=f"Figure 3 — inconsistency counts by kind (N={budget})",
+    )
+    shown = 0
+    for label in labels:
+        v = series["varity"].get(label, 0)
+        l = series["llm4fp"].get(label, 0)
+        if v == 0 and l == 0:
+            continue
+        table.add_row([label, v, l])
+        shown += 1
+    if shown == 0:
+        table.add_row(["(no inconsistencies)", 0, 0])
+    return table.render()
+
+
+def run(ctx: ExperimentContext) -> str:
+    return render(compute(ctx), ctx.settings.budget)

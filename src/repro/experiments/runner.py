@@ -1,0 +1,39 @@
+"""Shared experiment orchestration: run each approach's campaign once,
+reuse it across every table/figure that consumes it."""
+
+from __future__ import annotations
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.harness import run_campaign
+from repro.difftest.record import CampaignResult
+from repro.difftest.report import CampaignReport
+from repro.experiments.approaches import make_generator
+from repro.experiments.settings import ExperimentSettings
+from repro.toolchains import default_compilers
+from repro.utils.rng import SplittableRng
+
+__all__ = ["ExperimentContext"]
+
+
+class ExperimentContext:
+    """Caches one campaign per approach for a settings snapshot."""
+
+    def __init__(self, settings: ExperimentSettings | None = None) -> None:
+        self.settings = settings or ExperimentSettings()
+        self._results: dict[str, CampaignResult] = {}
+
+    def campaign(self, approach: str) -> CampaignResult:
+        if approach not in self._results:
+            s = self.settings
+            rng = SplittableRng(s.seed, f"approach-{approach}")
+            generator = make_generator(
+                approach, rng, model_latency=s.model_llm_latency
+            )
+            config = CampaignConfig(budget=s.budget, levels=s.levels, seed=s.seed)
+            self._results[approach] = run_campaign(
+                generator, default_compilers(), config
+            )
+        return self._results[approach]
+
+    def report(self, approach: str) -> CampaignReport:
+        return CampaignReport(self.campaign(approach))

@@ -1,0 +1,43 @@
+"""Table 3: LLM4FP inconsistency kinds broken down by optimization level."""
+
+from __future__ import annotations
+
+from repro.difftest.classify import ALL_KINDS, KindCount, kind_label
+from repro.experiments.runner import ExperimentContext
+from repro.toolchains.optlevels import OptLevel
+from repro.utils.tables import TextTable
+
+__all__ = ["compute", "render", "run"]
+
+
+def compute(ctx: ExperimentContext) -> dict[OptLevel, KindCount]:
+    return ctx.report("llm4fp").kinds_by_level()
+
+
+def render(by_level: dict[OptLevel, KindCount], budget: int) -> str:
+    # Columns: kinds that appear anywhere, Figure-3 order.
+    seen_kinds = [
+        kind
+        for kind in ALL_KINDS
+        if any(kc.counts.get(kind, 0) for kc in by_level.values())
+    ]
+    headers = ["Level"] + [kind_label(k) for k in seen_kinds] + ["Row total"]
+    table = TextTable(
+        headers,
+        title=f"Table 3 — LLM4FP inconsistency kinds per level (N={budget}; '-' = absent)",
+    )
+    total = 0
+    for level, kc in by_level.items():
+        row = [str(level)]
+        for kind in seen_kinds:
+            n = kc.counts.get(kind, 0)
+            row.append(str(n) if n else "-")
+        row.append(str(kc.total))
+        total += kc.total
+        table.add_row(row)
+    table.add_row(["Total"] + ["" for _ in seen_kinds] + [str(total)])
+    return table.render()
+
+
+def run(ctx: ExperimentContext) -> str:
+    return render(compute(ctx), ctx.settings.budget)

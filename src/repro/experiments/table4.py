@@ -1,0 +1,50 @@
+"""Table 4: inconsistency rates + digit differences (min/max/avg) per
+compiler pair at each level, Varity vs LLM4FP."""
+
+from __future__ import annotations
+
+from repro.difftest.report import PairLevelCell
+from repro.experiments.runner import ExperimentContext
+from repro.toolchains.optlevels import OptLevel
+from repro.utils.tables import TextTable
+
+__all__ = ["compute", "render", "run"]
+
+Cells = dict[tuple[str, str], dict[OptLevel, PairLevelCell]]
+
+
+def compute(ctx: ExperimentContext) -> dict[str, Cells]:
+    return {
+        approach: ctx.report(approach).pair_level_cells()
+        for approach in ("varity", "llm4fp")
+    }
+
+
+def render(data: dict[str, Cells], budget: int) -> str:
+    blocks: list[str] = []
+    for approach, cells in data.items():
+        pairs = list(cells.keys())
+        headers = ["Level"] + [f"{a},{b}" for a, b in pairs]
+        table = TextTable(
+            headers,
+            title=(
+                f"Table 4 [{approach}] — rate (min/max/avg digit diff) per pair "
+                f"(N={budget}; rates over the grand total)"
+            ),
+        )
+        levels = list(next(iter(cells.values())).keys())
+        for level in levels:
+            row = [str(level)]
+            for pair in pairs:
+                row.append(cells[pair][level].render())
+            table.add_row(row)
+        totals = ["Total"]
+        for pair in pairs:
+            totals.append(f"{sum(c.rate for c in cells[pair].values()) * 100:.2f}%")
+        table.add_row(totals)
+        blocks.append(table.render())
+    return "\n\n".join(blocks)
+
+
+def run(ctx: ExperimentContext) -> str:
+    return render(compute(ctx), ctx.settings.budget)

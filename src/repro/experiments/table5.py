@@ -1,0 +1,52 @@
+"""Table 5: each optimization level vs the O0_nofma baseline, within one
+compiler (RQ4), Varity vs LLM4FP."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentContext
+from repro.toolchains.optlevels import OptLevel
+from repro.utils.tables import TextTable
+
+__all__ = ["compute", "render", "run"]
+
+Rates = dict[str, dict[OptLevel, float]]
+
+
+def compute(ctx: ExperimentContext) -> dict[str, Rates]:
+    return {
+        approach: ctx.report(approach).vs_o0_nofma()
+        for approach in ("varity", "llm4fp")
+    }
+
+
+def render(data: dict[str, Rates], budget: int) -> str:
+    approaches = list(data.keys())
+    compilers = list(next(iter(data.values())).keys())
+    headers = ["Level"] + [
+        f"{a[:1].upper()}:{c}" for a in approaches for c in compilers
+    ]
+    table = TextTable(
+        headers,
+        title=(
+            f"Table 5 — inconsistency rate vs O0_nofma within each compiler "
+            f"(N={budget}; V=varity, L=llm4fp; '-' = none)"
+        ),
+    )
+    levels = list(next(iter(data[approaches[0]].values())).keys())
+    for level in levels:
+        row = [str(level)]
+        for a in approaches:
+            for c in compilers:
+                rate = data[a][c].get(level, 0.0)
+                row.append(f"{rate * 100:.2f}%" if rate else "-")
+        table.add_row(row)
+    totals = ["Total"]
+    for a in approaches:
+        for c in compilers:
+            totals.append(f"{sum(data[a][c].values()) * 100:.2f}%")
+    table.add_row(totals)
+    return table.render()
+
+
+def run(ctx: ExperimentContext) -> str:
+    return render(compute(ctx), ctx.settings.budget)

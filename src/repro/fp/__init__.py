@@ -1,0 +1,61 @@
+"""IEEE-754 substrate: bit manipulation, classification, ulp, FMA, libm models.
+
+This package provides the numerical ground truth for the simulated
+toolchains.  All arithmetic the interpreter performs routes through
+:class:`repro.fp.env.FPEnvironment`, which binds a precision
+(:data:`~repro.fp.formats.FP64` / :data:`~repro.fp.formats.FP32`), a
+flush-to-zero policy, and a math-library model.
+"""
+
+from repro.fp.formats import FP32, FP64, FloatFormat, Precision
+from repro.fp.bits import (
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    double_to_hex,
+    hex_to_double,
+    single_to_bits,
+    single_to_hex,
+)
+from repro.fp.classify import FPClass, classify_double
+from repro.fp.ulp import ulp_distance, next_up, next_down
+from repro.fp.fma import fma, round_scaled_int
+from repro.fp.mathlib import (
+    MathLibrary,
+    CorrectlyRoundedLibm,
+    HostLibm,
+    CudaLibm,
+    FastHostLibm,
+    FastCudaLibm,
+    MATH_FUNCTIONS,
+)
+from repro.fp.env import FPEnvironment
+
+__all__ = [
+    "FP32",
+    "FP64",
+    "FloatFormat",
+    "Precision",
+    "bits_to_double",
+    "bits_to_single",
+    "double_to_bits",
+    "double_to_hex",
+    "hex_to_double",
+    "single_to_bits",
+    "single_to_hex",
+    "FPClass",
+    "classify_double",
+    "ulp_distance",
+    "next_up",
+    "next_down",
+    "fma",
+    "round_scaled_int",
+    "MathLibrary",
+    "CorrectlyRoundedLibm",
+    "HostLibm",
+    "CudaLibm",
+    "FastHostLibm",
+    "FastCudaLibm",
+    "MATH_FUNCTIONS",
+    "FPEnvironment",
+]

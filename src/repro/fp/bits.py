@@ -1,0 +1,61 @@
+"""Conversions between floats, raw bit patterns, and hex encodings.
+
+The paper's differential comparison (§2.4) operates on "the hexadecimal
+encoding of the floating-point result, such as when two 64-bit doubles yield
+different 16-character strings".  These helpers define that encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "double_to_bits",
+    "bits_to_double",
+    "double_to_hex",
+    "hex_to_double",
+    "single_to_bits",
+    "bits_to_single",
+    "single_to_hex",
+]
+
+
+def double_to_bits(x: float) -> int:
+    """Raw IEEE binary64 bit pattern of ``x`` as an unsigned 64-bit int."""
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    """Double whose IEEE binary64 bit pattern is ``bits``."""
+    if not 0 <= bits < 1 << 64:
+        raise ValueError(f"bit pattern out of range: {bits:#x}")
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def double_to_hex(x: float) -> str:
+    """The paper's 16-character lowercase hex encoding of a double."""
+    return f"{double_to_bits(x):016x}"
+
+
+def hex_to_double(s: str) -> float:
+    """Inverse of :func:`double_to_hex`."""
+    if len(s) != 16:
+        raise ValueError(f"expected 16 hex digits, got {len(s)}: {s!r}")
+    return bits_to_double(int(s, 16))
+
+
+def single_to_bits(x: float) -> int:
+    """Raw IEEE binary32 bit pattern of ``x`` (rounded to single)."""
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def bits_to_single(bits: int) -> float:
+    """Float whose IEEE binary32 bit pattern is ``bits`` (widened to double)."""
+    if not 0 <= bits < 1 << 32:
+        raise ValueError(f"bit pattern out of range: {bits:#x}")
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def single_to_hex(x: float) -> str:
+    """8-character lowercase hex encoding of a single-precision value."""
+    return f"{single_to_bits(x):08x}"

@@ -1,0 +1,45 @@
+"""The paper's five-way value classification (§3.3.1).
+
+RQ2 buckets every result into one of {Real, Zero, +Inf, -Inf, NaN}:
+*Real* covers normal and subnormal numbers; *Zero* covers both signed zeros.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class FPClass(enum.Enum):
+    """Numerical category of a floating-point result."""
+
+    REAL = "Real"
+    ZERO = "Zero"
+    POS_INF = "+Inf"
+    NEG_INF = "-Inf"
+    NAN = "NaN"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify_double(x: float) -> FPClass:
+    """Classify ``x`` into the paper's five categories."""
+    if math.isnan(x):
+        return FPClass.NAN
+    if math.isinf(x):
+        return FPClass.POS_INF if x > 0 else FPClass.NEG_INF
+    if x == 0.0:
+        return FPClass.ZERO
+    return FPClass.REAL
+
+
+#: Canonical ordering used when labelling inconsistency kinds, matching the
+#: x-axis of the paper's Figure 3.
+CLASS_ORDER: tuple[FPClass, ...] = (
+    FPClass.REAL,
+    FPClass.ZERO,
+    FPClass.NAN,
+    FPClass.POS_INF,
+    FPClass.NEG_INF,
+)

@@ -1,0 +1,154 @@
+"""The floating-point execution environment bound to one compiled binary.
+
+Every (compiler, optimization level) pair in :mod:`repro.toolchains` builds
+an :class:`FPEnvironment` describing *how that binary computes*: the linked
+math library, whether subnormals are flushed to zero (device fast math),
+and whether division and square root are correctly rounded (nvcc
+``--prec-div/--prec-sqrt``).  The interpreter routes every arithmetic
+operation through this object at the operation's own precision (``ty`` is
+``"float"`` or ``"double"``), so mixed-precision programs evaluate with C
+semantics and two binaries differ exactly where their environments and
+optimized IR differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fp.bits import double_to_bits
+from repro.fp.fma import fma as _fma_exact
+from repro.fp.formats import FP32, FP64, FloatFormat, Precision
+from repro.fp.mathlib import CorrectlyRoundedLibm, MathLibrary
+from repro.fp.ulp import offset_by_ulps
+
+__all__ = ["FPEnvironment"]
+
+_F32_MIN_NORMAL = float(np.finfo(np.float32).tiny)
+_F64_MIN_NORMAL = float(np.finfo(np.float64).tiny)
+
+
+def _approx_perturb(salt: bytes, op: str, operands: tuple[float, ...], ref: float,
+                    max_ulps: int, prob: float) -> float:
+    """Deterministic ulp perturbation modelling approximate div/sqrt units."""
+    if math.isnan(ref) or math.isinf(ref) or ref == 0.0:
+        return ref
+    payload = op.encode() + b"".join(double_to_bits(v).to_bytes(8, "little") for v in operands)
+    digest = hashlib.blake2b(payload, key=salt[:64], digest_size=16).digest()
+    u = int.from_bytes(digest[:8], "little") / 2**64
+    if u >= prob:
+        return ref
+    span = 2 * max_ulps
+    k = int.from_bytes(digest[8:], "little") % span
+    offset = k - max_ulps
+    if offset >= 0:
+        offset += 1
+    return offset_by_ulps(ref, offset)
+
+
+@dataclass(frozen=True)
+class FPEnvironment:
+    """Floating-point semantics of one compiled binary.
+
+    Attributes:
+        precision: default kernel precision (used for reporting; operations
+            carry their own precision).
+        libm: math library linked into the binary.
+        ftz: flush subnormal inputs and results to (same-signed) zero.
+        approx_div: division is a hardware approximation (<=2 ulp) rather
+            than correctly rounded (nvcc ``--prec-div=false``).
+        approx_sqrt: sqrt is approximate (nvcc ``--prec-sqrt=false``).
+    """
+
+    precision: Precision = Precision.DOUBLE
+    libm: MathLibrary = field(default_factory=CorrectlyRoundedLibm)
+    ftz: bool = False
+    approx_div: bool = False
+    approx_sqrt: bool = False
+    _salt: bytes = b"device-approx-unit"
+
+    @property
+    def fmt(self) -> FloatFormat:
+        return self.precision.fmt
+
+    # -- subnormal policy --------------------------------------------------------
+
+    def _flush(self, x: float, ty: str) -> float:
+        if not self.ftz or x == 0.0 or math.isnan(x) or math.isinf(x):
+            return x
+        tiny = _F32_MIN_NORMAL if ty == "float" else _F64_MIN_NORMAL
+        if abs(x) < tiny:
+            return math.copysign(0.0, x)
+        return x
+
+    def canon(self, x: float, ty: str = "double") -> float:
+        """Round an arbitrary double into type ``ty`` under this environment."""
+        if ty == "float" and not (math.isnan(x) or math.isinf(x)):
+            x = float(np.float32(x))
+        return self._flush(x, ty)
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def _binary(self, op: str, a: float, b: float, ty: str) -> float:
+        a, b = self._flush(a, ty), self._flush(b, ty)
+        with np.errstate(all="ignore"):
+            if ty == "float":
+                fa, fb = np.float32(a), np.float32(b)
+            else:
+                fa, fb = np.float64(a), np.float64(b)
+            if op == "+":
+                r = fa + fb
+            elif op == "-":
+                r = fa - fb
+            elif op == "*":
+                r = fa * fb
+            else:
+                r = np.divide(fa, fb)
+        return self._flush(float(r), ty)
+
+    def add(self, a: float, b: float, ty: str = "double") -> float:
+        return self._binary("+", a, b, ty)
+
+    def sub(self, a: float, b: float, ty: str = "double") -> float:
+        return self._binary("-", a, b, ty)
+
+    def mul(self, a: float, b: float, ty: str = "double") -> float:
+        return self._binary("*", a, b, ty)
+
+    def div(self, a: float, b: float, ty: str = "double") -> float:
+        r = self._binary("/", a, b, ty)
+        if self.approx_div:
+            r = self._flush(_approx_perturb(self._salt, "div", (a, b), r, 2, 0.5), ty)
+        return r
+
+    def neg(self, a: float, ty: str = "double") -> float:
+        return -self._flush(a, ty)
+
+    def fma(self, a: float, b: float, c: float, ty: str = "double") -> float:
+        """Single-rounding fused multiply-add (used by contracted IR)."""
+        a, b, c = (self._flush(v, ty) for v in (a, b, c))
+        fmt = FP32 if ty == "float" else FP64
+        return self._flush(_fma_exact(a, b, c, fmt), ty)
+
+    # -- library calls ----------------------------------------------------------------
+
+    def call(self, fn: str, args: tuple[float, ...], ty: str = "double") -> float:
+        args = tuple(self._flush(a, ty) for a in args)
+        fmt = FP32 if ty == "float" else FP64
+        if fn == "sqrt" and self.approx_sqrt:
+            ref = self.libm.call("sqrt", args, fmt)
+            return self._flush(_approx_perturb(self._salt, "sqrt", args, ref, 2, 0.5), ty)
+        return self._flush(self.libm.call(fn, args, fmt), ty)
+
+    def describe(self) -> str:
+        bits = [self.precision.value, f"libm={self.libm.name}"]
+        if self.ftz:
+            bits.append("ftz")
+        if self.approx_div:
+            bits.append("approx-div")
+        if self.approx_sqrt:
+            bits.append("approx-sqrt")
+        return ",".join(bits)

@@ -1,0 +1,113 @@
+"""Correctly rounded fused multiply-add, implemented exactly.
+
+CPython 3.11 has no ``math.fma``, and emulating FMA with double-double
+tricks risks double-rounding corner cases, so we compute ``a*b + c``
+exactly over the integers (every finite double is ``n * 2**e``) and round
+once to the target format.  This is the single-rounding semantics the
+simulated nvcc uses when Fused Multiply-Add contraction is enabled
+(``--fmad=true``, the default — paper §3.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fp.formats import FP32, FP64, FloatFormat
+
+__all__ = ["round_scaled_int", "fma"]
+
+
+def round_scaled_int(n: int, e: int, fmt: FloatFormat = FP64) -> float:
+    """Round the exact value ``n * 2**e`` to ``fmt`` (nearest, ties-to-even).
+
+    Returns a Python float holding the rounded value; for FP32 the result is
+    the binary32 value widened back to a double (exact).  Overflow saturates
+    to the signed infinity.  ``n == 0`` returns ``+0.0``; callers that need
+    IEEE signed-zero semantics handle the sign separately.
+    """
+    if n == 0:
+        return 0.0
+    sign = -1.0 if n < 0 else 1.0
+    m = abs(n)
+
+    # Unbiased exponent of the leading bit of the exact value.
+    top = m.bit_length() - 1 + e
+    if top > fmt.emax + 1:
+        return sign * math.inf
+
+    # Position (power of two) of the result's least significant bit: normal
+    # numbers keep `precision` bits below the leading bit; anything below
+    # emin falls into the subnormal range with a fixed lsb position.
+    lsb_exp = max(top - (fmt.precision - 1), fmt.emin - (fmt.precision - 1))
+    shift = lsb_exp - e
+
+    if shift <= 0:
+        q = m << (-shift)
+    else:
+        q = m >> shift
+        rem = m & ((1 << shift) - 1)
+        half = 1 << (shift - 1)
+        if rem > half or (rem == half and (q & 1)):
+            q += 1
+            # Rounding up may carry into a new binade; when that binade is
+            # still subnormal-positioned, the lsb stays put and q simply
+            # gained a bit, which the overflow check below accounts for.
+
+    if q == 0:
+        return sign * 0.0
+    new_top = q.bit_length() - 1 + lsb_exp
+    if new_top > fmt.emax:
+        return sign * math.inf
+    return sign * math.ldexp(float(q), lsb_exp)
+
+
+def _decompose(x: float) -> tuple[int, int]:
+    """Exact (n, e) with ``x == n * 2**e`` for a finite double."""
+    num, den = x.as_integer_ratio()
+    return num, -(den.bit_length() - 1)
+
+
+def fma(a: float, b: float, c: float, fmt: FloatFormat = FP64) -> float:
+    """Correctly rounded ``a*b + c`` with a single rounding step.
+
+    Inputs must already be exact members of ``fmt`` (for FP32, doubles that
+    round-trip through binary32).  Follows IEEE 754 special-case rules:
+    ``0 * inf`` is NaN regardless of ``c``; exact cancellation yields +0.
+    """
+    if math.isnan(a) or math.isnan(b) or math.isnan(c):
+        return math.nan
+    if math.isinf(a) or math.isinf(b):
+        if a == 0.0 or b == 0.0:
+            return math.nan  # 0 * inf
+        prod_sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        if math.isinf(c) and math.copysign(1.0, c) != prod_sign:
+            return math.nan  # inf - inf
+        return prod_sign * math.inf
+    if math.isinf(c):
+        return c
+
+    if a == 0.0 or b == 0.0:
+        # Exact product is a signed zero; adding c follows ordinary rules.
+        prod_neg = (math.copysign(1.0, a) * math.copysign(1.0, b)) < 0
+        if c == 0.0:
+            c_neg = math.copysign(1.0, c) < 0
+            return -0.0 if (prod_neg and c_neg) else 0.0
+        return c
+
+    na, ea = _decompose(a)
+    nb, eb = _decompose(b)
+    n_prod = na * nb
+    e_prod = ea + eb
+    if c == 0.0:
+        n, e = n_prod, e_prod
+    else:
+        nc, ec = _decompose(c)
+        if e_prod <= ec:
+            n = n_prod + (nc << (ec - e_prod))
+            e = e_prod
+        else:
+            n = (n_prod << (e_prod - ec)) + nc
+            e = ec
+    if n == 0:
+        return 0.0  # exact cancellation rounds to +0 in round-to-nearest
+    return round_scaled_int(n, e, fmt)

@@ -1,0 +1,86 @@
+"""Units-in-the-last-place distances and neighbours on the binary64 lattice.
+
+The libm models express their accuracy contracts in ulps; these helpers walk
+and measure the double lattice exactly (no epsilon arithmetic).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fp.bits import bits_to_double, double_to_bits
+
+_SIGN = 1 << 63
+
+
+def _ordered_key(x: float) -> int:
+    """Map a double onto a signed integer line where adjacent doubles differ
+    by exactly 1, negative values below zero, preserving order."""
+    bits = double_to_bits(x)
+    if bits & _SIGN:
+        return -(bits & ~_SIGN)
+    return bits
+
+
+def ulp_distance(a: float, b: float) -> int:
+    """Number of representable doubles strictly between ``a`` and ``b``,
+    plus one if they differ; 0 when bit-identical.
+
+    ``+0.0`` and ``-0.0`` are one ulp apart (their bit patterns differ,
+    which is what the paper's hex comparison sees).  NaNs are infinitely
+    far from everything, including other NaNs with different payloads
+    (returned as a large sentinel).
+    """
+    if math.isnan(a) or math.isnan(b):
+        if double_to_bits(a) == double_to_bits(b):
+            return 0
+        return 1 << 64
+    ka, kb = _ordered_key(a), _ordered_key(b)
+    # Signed zeros share key 0 but have distinct bit patterns.
+    if ka == kb and double_to_bits(a) != double_to_bits(b):
+        return 1
+    return abs(ka - kb)
+
+
+def offset_by_ulps(x: float, n: int) -> float:
+    """The double exactly ``n`` lattice steps from ``x`` (n may be negative).
+
+    Saturates at infinity past the largest finite doubles.  Not defined for
+    NaN input.
+    """
+    if math.isnan(x):
+        raise ValueError("cannot offset a NaN by ulps")
+    if math.isinf(x):
+        return x
+    key = _ordered_key(x) + n
+    limit = double_to_bits(math.inf)
+    if key >= 0:
+        if key >= limit:
+            return math.inf
+        return bits_to_double(key)
+    mag = -key
+    if mag >= limit:
+        return -math.inf
+    return bits_to_double(_SIGN | mag)
+
+
+def next_up(x: float) -> float:
+    """Smallest double strictly greater than ``x``."""
+    if math.isnan(x):
+        return x
+    if x == math.inf:
+        return x
+    if x == 0.0:
+        return bits_to_double(1)
+    return offset_by_ulps(x, 1)
+
+
+def next_down(x: float) -> float:
+    """Largest double strictly less than ``x``."""
+    if math.isnan(x):
+        return x
+    if x == -math.inf:
+        return x
+    if x == 0.0:
+        return bits_to_double(_SIGN | 1)
+    return offset_by_ulps(x, -1)

@@ -1,0 +1,77 @@
+"""The tiny C type system used by the frontend and lowering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CType:
+    """A C type: one of the scalar bases, or a pointer/array derivation.
+
+    ``base`` is one of ``int``, ``float``, ``double``, ``char``, ``void``;
+    ``pointers`` counts ``*`` levels; ``array_size`` is set for sized array
+    declarations (``double a[8]``).
+    """
+
+    base: str
+    pointers: int = 0
+    array_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.base not in ("int", "float", "double", "char", "void"):
+            raise ValueError(f"unsupported base type {self.base!r}")
+        if self.pointers < 0:
+            raise ValueError("negative pointer depth")
+        if self.array_size is not None and self.array_size <= 0:
+            raise ValueError("array size must be positive")
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.pointers == 0 and self.array_size is None
+
+    @property
+    def is_fp(self) -> bool:
+        return self.is_scalar and self.base in ("float", "double")
+
+    @property
+    def is_int(self) -> bool:
+        return self.is_scalar and self.base == "int"
+
+    @property
+    def is_indexable(self) -> bool:
+        return self.pointers > 0 or self.array_size is not None
+
+    @property
+    def element(self) -> "CType":
+        """Element type of a pointer or array."""
+        if self.array_size is not None:
+            return CType(self.base, self.pointers)
+        if self.pointers > 0:
+            return CType(self.base, self.pointers - 1)
+        raise TypeError(f"{self} is not indexable")
+
+    def __str__(self) -> str:
+        s = self.base + "*" * self.pointers
+        if self.array_size is not None:
+            s += f"[{self.array_size}]"
+        return s
+
+
+INT = CType("int")
+FLOAT = CType("float")
+DOUBLE = CType("double")
+VOID = CType("void")
+
+
+def common_arith_type(a: CType, b: CType) -> CType:
+    """Usual arithmetic conversions for our scalar subset."""
+    if not (a.is_scalar and b.is_scalar):
+        raise TypeError(f"cannot combine {a} and {b}")
+    if "double" in (a.base, b.base):
+        return DOUBLE
+    if "float" in (a.base, b.base):
+        return FLOAT
+    return INT

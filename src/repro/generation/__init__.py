@@ -1,0 +1,36 @@
+"""Program generation: the Varity baseline, prompt builders, and the LLM.
+
+Four generator configurations correspond to the paper's four approaches
+(§3.2.1): ``Varity`` (random grammar-based, no LLM), ``Direct-Prompt``
+(LLM, no grammar, no feedback), ``Grammar-Guided`` (LLM + grammar spec),
+and ``LLM4FP`` (LLM + grammar + feedback-based mutation).
+"""
+
+from repro.generation.grammar import GrammarSpec, DEFAULT_GRAMMAR
+from repro.generation.program import GeneratedProgram, ProgramGenerator
+from repro.generation.inputs import InputProfile, generate_inputs
+from repro.generation.varity import VarityGenerator
+from repro.generation.prompts import (
+    direct_prompt,
+    grammar_prompt,
+    mutation_prompt,
+    MUTATION_STRATEGIES,
+)
+from repro.generation.llm import SimLLM, GenerationConfig, LLMProgramGenerator
+
+__all__ = [
+    "GrammarSpec",
+    "DEFAULT_GRAMMAR",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "InputProfile",
+    "generate_inputs",
+    "VarityGenerator",
+    "direct_prompt",
+    "grammar_prompt",
+    "mutation_prompt",
+    "MUTATION_STRATEGIES",
+    "SimLLM",
+    "GenerationConfig",
+    "LLMProgramGenerator",
+]

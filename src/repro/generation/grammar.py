@@ -1,0 +1,66 @@
+"""The Varity grammar specification (paper Figure 2).
+
+The spec is both data (the structural limits generators respect) and text
+(the BNF block embedded into grammar-guided prompts, §2.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fp.formats import Precision
+
+#: Math functions the grammar exposes, grouped by how generators use them.
+SAFE_UNARY = ("sin", "cos", "tanh", "atan", "erf", "fabs", "cbrt")
+GROWING_UNARY = ("exp", "sinh", "cosh", "expm1")
+DOMAIN_LIMITED_UNARY = ("log", "log2", "log10", "log1p", "sqrt", "asin", "acos", "tan")
+BINARY_FUNCS = ("pow", "atan2", "hypot", "fmin", "fmax", "fmod")
+
+ALL_GRAMMAR_FUNCS = SAFE_UNARY + GROWING_UNARY + DOMAIN_LIMITED_UNARY + BINARY_FUNCS
+
+
+@dataclass(frozen=True)
+class GrammarSpec:
+    """Structural constraints for generated ``compute`` functions."""
+
+    precision: Precision = Precision.DOUBLE
+    operators: tuple[str, ...] = ("+", "-", "*", "/")
+    max_params: int = 6
+    min_params: int = 2
+    max_loop_depth: int = 2
+    max_loop_trip: int = 64
+    max_expr_depth: int = 6
+    max_array_size: int = 16
+    allow_arrays: bool = True
+    allow_conditionals: bool = True
+    functions: tuple[str, ...] = ALL_GRAMMAR_FUNCS
+
+    @property
+    def fp_type(self) -> str:
+        return self.precision.c_type
+
+    def render(self) -> str:
+        """The Figure 2 BNF text, parameterized by precision."""
+        fp = self.fp_type
+        ops = " | ".join(f'"{op}"' for op in self.operators)
+        return (
+            '<function> ::= "void" "compute" "(" <param-list> ")" "{" <block> "}"\n'
+            "<param-list> ::= <param-declaration> | <param-list> \",\" <param-declaration>\n"
+            f'<param-declaration> ::= "int" <id> | "{fp}" <id> | "{fp}" "*" <id>\n'
+            '<assignment> ::= "comp" <assign-op> <expression> ";"\n'
+            f'             | "{fp}" <id> <assign-op> <expression> ";"\n'
+            "<expression> ::= <term> | \"(\" <expression> \")\"\n"
+            "             | <expression> <op> <expression>\n"
+            f"<op> ::= {ops}\n"
+            "<term> ::= <identifier> | <fp-numeral> | <math-call>\n"
+            "<math-call> ::= <math-function> \"(\" <expression> {\",\" <expression>} \")\"\n"
+            "<block> ::= {<assignment>}+ | <if-block> <block> | <for-loop-block> <block>\n"
+            '<if-block> ::= "if" "(" <bool-expression> ")" "{" <block> "}"\n'
+            '<for-loop-block> ::= "for" "(" <loop-header> ")" "{" <block> "}"\n'
+            "<bool-expression> ::= <id> <bool-op> <expression>\n"
+            '<loop-header> ::= "int" <id> ";" <id> "<" <int-numeral> ";" "++" <id>\n'
+        )
+
+
+#: The paper's default configuration: FP64 (§3.1.3).
+DEFAULT_GRAMMAR = GrammarSpec()

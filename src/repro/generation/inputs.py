@@ -1,0 +1,97 @@
+"""Input-vector generation.
+
+Each program is paired with a unique input set (§3.1.3).  Two profiles
+model the character difference the paper observes:
+
+* ``WIDE`` (Varity) — magnitudes drawn log-uniformly across most of the
+  double range, including huge and tiny values; programs regularly visit
+  overflow/underflow/singularity neighbourhoods, which is why Varity's
+  inconsistencies skew toward NaN/Inf kinds (Figure 3);
+* ``PLAUSIBLE`` (LLM approaches) — values a numerical kernel would
+  realistically see (|x| mostly in [1e-3, 1e3]), keeping computations in
+  the normal range so divergences surface as {Real, Real} differences.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.utils.rng import SplittableRng
+
+__all__ = ["InputProfile", "scalar_input", "generate_inputs"]
+
+
+class InputProfile(enum.Enum):
+    WIDE = "wide"
+    PLAUSIBLE = "plausible"
+
+
+def _wide_scalar(rng: SplittableRng) -> float:
+    roll = rng.random()
+    if roll < 0.40:
+        return rng.uniform(-10.0, 10.0)
+    if roll < 0.60:
+        # Huge magnitudes.  Half sit where products of two operands straddle
+        # the overflow boundary (association/contraction differences decide
+        # between a large real and +/-Inf); half saturate outright so
+        # infinities and NaNs flow into later finite-math-sensitive sites.
+        if rng.bernoulli(0.5):
+            exp = rng.uniform(40, 170)
+        else:
+            exp = rng.uniform(170, 305)
+        return rng.choice((-1.0, 1.0)) * 10.0**exp
+    if roll < 0.80:
+        # Tiny magnitudes, down into the subnormal range where
+        # reciprocal-math (x/y -> x * (1/y)) overflows the reciprocal and
+        # where flush-to-zero differs from gradual underflow.
+        if rng.bernoulli(0.5):
+            exp = rng.uniform(-170, -40)
+        else:
+            exp = rng.uniform(-320, -290)
+        return rng.choice((-1.0, 1.0)) * 10.0**exp
+    if roll < 0.90:
+        return rng.choice((0.0, -0.0, 1.0, -1.0))
+    return rng.uniform(-1e6, 1e6)
+
+
+def _plausible_scalar(rng: SplittableRng) -> float:
+    roll = rng.random()
+    if roll < 0.55:
+        return rng.uniform(-10.0, 10.0)
+    if roll < 0.80:
+        return rng.uniform(-1000.0, 1000.0)
+    if roll < 0.95:
+        exp = rng.uniform(-3, 3)
+        return rng.choice((-1.0, 1.0)) * 10.0**exp
+    return rng.choice((0.5, 1.0, 2.0, -1.0, 0.1))
+
+
+def scalar_input(rng: SplittableRng, profile: InputProfile) -> float:
+    """One floating-point input value under ``profile``."""
+    if profile is InputProfile.WIDE:
+        return _wide_scalar(rng)
+    return _plausible_scalar(rng)
+
+
+def generate_inputs(
+    rng: SplittableRng,
+    param_types: list[str],
+    profile: InputProfile,
+    max_trip: int = 64,
+    array_len: int = 8,
+) -> tuple:
+    """An input vector for a ``compute`` signature.
+
+    ``param_types`` entries are 'int', 'float', 'double', 'float*' or
+    'double*'.  Integer parameters are loop bounds and stay small and
+    positive; pointer parameters get ``array_len`` elements.
+    """
+    out: list = []
+    for ty in param_types:
+        if ty == "int":
+            out.append(rng.randint(1, max_trip))
+        elif ty.endswith("*"):
+            out.append(tuple(scalar_input(rng, profile) for _ in range(array_len)))
+        else:
+            out.append(scalar_input(rng, profile))
+    return tuple(out)

@@ -1,0 +1,104 @@
+"""LLM client protocol, sampling configuration, and the successful set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.utils.rng import SplittableRng
+
+__all__ = ["GenerationConfig", "LLMClient", "LatencyModel", "SuccessSet"]
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Sampling hyperparameters (paper §3.1.4, after Arora et al.)."""
+
+    model: str = "sim-gpt-4.1-2025-04-14"
+    temperature: float = 1.2
+    frequency_penalty: float = 0.5
+    presence_penalty: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if not 0 <= self.frequency_penalty <= 2:
+            raise ValueError("frequency_penalty out of [0, 2]")
+        if not 0 <= self.presence_penalty <= 2:
+            raise ValueError("presence_penalty out of [0, 2]")
+
+
+class LLMClient(Protocol):
+    """Anything that maps a prompt to a completion."""
+
+    def complete(self, prompt: str) -> str:
+        ...
+
+
+@dataclass
+class LatencyModel:
+    """Synthetic API latency, for reproducing Table 2's time-cost column.
+
+    The paper attributes more than half of the LLM approaches' runtime to
+    API latency (§3.2.3).  When enabled, each call charges a deterministic
+    pseudo-random duration to ``total_seconds`` instead of sleeping, so the
+    time report reflects the paper's cost structure without wasting wall
+    clock.
+    """
+
+    rng: SplittableRng
+    mean_seconds: float = 12.0
+    jitter: float = 0.5
+    total_seconds: float = 0.0
+    calls: int = 0
+
+    def charge(self) -> float:
+        spread = self.mean_seconds * self.jitter
+        dt = max(0.5, self.mean_seconds + self.rng.uniform(-spread, spread))
+        self.total_seconds += dt
+        self.calls += 1
+        return dt
+
+
+class SuccessSet:
+    """The feedback store of programs that triggered inconsistencies (§2.4).
+
+    Bounded FIFO: the paper keeps all successes; a bound keeps memory
+    predictable at large budgets.  Sampling is recency-biased (see
+    :meth:`sample`).
+    """
+
+    def __init__(self, rng: SplittableRng, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._rng = rng
+        self._programs: list[str] = []
+        self._seen: set[int] = set()
+        self.capacity = capacity
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def add(self, source: str) -> None:
+        key = hash(source)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._programs.append(source)
+        if len(self._programs) > self.capacity:
+            dropped = self._programs.pop(0)
+            self._seen.discard(hash(dropped))
+
+    def sample(self) -> str:
+        """Recency-biased draw from the successful set.
+
+        Later successes are favoured (weight grows linearly with insertion
+        rank), so mutation keeps extending recent descendants instead of
+        resampling the earliest seeds.  The generation-over-generation drift
+        this produces is what spreads the LLM4FP corpus out — the paper
+        attributes its diversity edge to the feedback loop (§3.2.3).
+        """
+        if not self._programs:
+            raise LookupError("successful set is empty")
+        weights = [1.0 + i for i in range(len(self._programs))]
+        return self._programs[self._rng.weighted_index(weights)]

@@ -1,0 +1,458 @@
+"""The SimLLM's code synthesis: a library of HPC-flavoured numerical patterns.
+
+This models the paper's core insight (§1): an LLM's prior over "code it has
+seen" yields *semantically plausible* floating-point computations — guarded
+denominators, polynomial/stencil/reduction idioms, precomputed constants —
+rather than Varity's unguided expression soup.  Plausibility is why LLM4FP's
+inconsistencies are overwhelmingly {Real, Real} (RQ2), and the density of
+transcendental calls, contractible ``a*b+c`` shapes, and long accumulation
+chains is why its trigger rate is higher (RQ1).
+
+Pattern choice is a softmax over pattern weights with the paper's sampling
+hyperparameters applied: temperature scales entropy, frequency penalty
+discourages reusing a pattern within one program, presence penalty
+discourages patterns used in recent completions (§3.1.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.generation.llm.parsing import PromptKind
+from repro.generation.llm.base import GenerationConfig
+from repro.fp.formats import Precision
+from repro.utils.rng import SplittableRng
+
+__all__ = ["ProgramSynthesizer", "PATTERNS", "Pattern"]
+
+_NAME_STYLES = (
+    {"fp": ("x", "y", "z", "u", "v"), "int": "n", "arr": "data",
+     "locals": ("t", "s", "r", "w", "q", "h", "g", "m")},
+    {"fp": ("a", "b", "c", "d", "e"), "int": "count", "arr": "vec",
+     "locals": ("acc", "term", "scale", "delta", "rate", "prev", "curr", "step")},
+    {"fp": ("val_1", "val_2", "val_3", "val_4", "val_5"), "int": "len", "arr": "buf",
+     "locals": ("tmp_a", "tmp_b", "tmp_c", "tmp_d", "tmp_e", "tmp_f", "tmp_g", "tmp_h")},
+    {"fp": ("alpha", "beta", "gamma", "delta_0", "omega"), "int": "steps", "arr": "arr",
+     "locals": ("weight", "bias", "factor", "coeff", "accum", "energy", "phase", "norm")},
+    {"fp": ("x0", "x1", "x2", "x3", "x4"), "int": "iters", "arr": "grid",
+     "locals": ("res_a", "res_b", "res_c", "res_d", "res_e", "res_f", "res_g", "res_h")},
+    {"fp": ("left", "right", "upper", "lower", "center"), "int": "width", "arr": "cells",
+     "locals": ("sum_v", "avg_v", "min_v", "max_v", "mid_v", "dev_v", "err_v", "tol_v")},
+    {"fp": ("in_a", "in_b", "in_c", "in_d", "in_e"), "int": "reps", "arr": "samples",
+     "locals": ("part", "whole", "ratio", "bound", "level", "stage", "order", "unit")},
+)
+
+_ARRAY_LEN = 8
+
+
+@dataclass
+class EmitCtx:
+    """State threaded through pattern emitters while building one program."""
+
+    rng: SplittableRng
+    fp: str
+    fp_params: list[str]
+    int_param: str | None
+    arr_param: str | None
+    local_names: tuple[str, ...]
+    lines: list[str] = field(default_factory=list)
+    fp_locals: list[str] = field(default_factory=list)
+    _fresh: int = 0
+
+    def fresh(self) -> str:
+        base = self.local_names[self._fresh % len(self.local_names)]
+        n = self._fresh // len(self.local_names)
+        self._fresh += 1
+        return base if n == 0 else f"{base}_{n + 1}"
+
+    def operand(self) -> str:
+        """A floating-point operand: parameter, declared local, or literal."""
+        pool = self.fp_params * 2 + self.fp_locals
+        if self.rng.bernoulli(0.85) and pool:
+            return self.rng.choice(pool)
+        return self.literal()
+
+    def _suffix(self) -> str:
+        """Literal suffix: 'f' in float programs so arithmetic stays in
+        binary32 (unsuffixed literals would promote everything to double,
+        hiding single-precision effects behind the final narrowing)."""
+        return "f" if self.fp == "float" else ""
+
+    def literal(self, lo: float = -6.0, hi: float = 6.0) -> str:
+        roll = self.rng.random()
+        if roll < 0.2:
+            base = self.rng.choice(["0.5", "1.0", "2.0", "0.25", "1.5", "3.0"])
+        else:
+            base = f"{self.rng.uniform(lo, hi):.6g}"
+        return base + self._suffix()
+
+    def small_positive(self) -> str:
+        return f"{self.rng.uniform(0.05, 3.0):.4g}" + self._suffix()
+
+    def trip(self, lo: int = 4, hi: int = 32) -> str:
+        if self.int_param and self.rng.bernoulli(0.5):
+            return self.int_param
+        return str(self.rng.randint(lo, hi))
+
+    def emit(self, text: str) -> None:
+        self.lines.append(text)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One synthesis idiom: emitter + per-strategy weights."""
+
+    name: str
+    weight_grammar: float
+    weight_direct: float
+    emit: object  # Callable[[EmitCtx], None]
+    grammar_only: bool = False
+
+
+# --------------------------------------------------------------------- emitters
+
+
+def _horner(ctx: EmitCtx) -> None:
+    x = ctx.operand()
+    c = [ctx.literal() for _ in range(4)]
+    ctx.emit(
+        f"comp += (({c[0]} * {x} + {c[1]}) * {x} + {c[2]}) * {x} + {c[3]};"
+    )
+
+
+def _dot_loop(ctx: EmitCtx) -> None:
+    acc = ctx.fresh()
+    x, y = ctx.operand(), ctx.operand()
+    i = ctx.fresh()
+    ctx.emit(f"{ctx.fp} {acc} = 0.0;")
+    ctx.emit(f"for (int {i} = 0; {i} < {ctx.trip()}; ++{i}) {{")
+    ctx.emit(f"  {acc} += ({x} + {i} * {ctx.literal()}) * ({y} - {i} * {ctx.literal()});")
+    ctx.emit("}")
+    ctx.emit(f"comp += {acc};")
+    ctx.fp_locals.append(acc)
+
+
+def _series_loop(ctx: EmitCtx) -> None:
+    term = ctx.fresh()
+    x = ctx.operand()
+    i = ctx.fresh()
+    ctx.emit(f"{ctx.fp} {term} = 1.0;")
+    ctx.emit(f"for (int {i} = 1; {i} < {ctx.trip(4, 20)}; ++{i}) {{")
+    ctx.emit(f"  {term} *= {x} / ({i} + {ctx.small_positive()});")
+    ctx.emit(f"  comp += {term};")
+    ctx.emit("}")
+    ctx.fp_locals.append(term)
+
+
+def _trig_mix(ctx: EmitCtx) -> None:
+    x, y = ctx.operand(), ctx.operand()
+    f1 = ctx.rng.choice(["sin", "cos", "tanh", "atan", "erf"])
+    f2 = ctx.rng.choice(["cos", "sin", "tanh", "cbrt"])
+    ctx.emit(
+        f"comp += {f1}({x}) * {f2}({y}) + tanh({x} * {y}) / (fabs({x}) + {ctx.small_positive()});"
+    )
+
+
+def _const_literal(ctx: EmitCtx) -> None:
+    k = ctx.fresh()
+    fn = ctx.rng.choice(["sin", "cos", "exp", "log1p", "atan", "tanh"])
+    lit = f"{ctx.rng.uniform(0.05, 2.5):.6g}" + ctx._suffix()
+    ctx.emit(f"{ctx.fp} {k} = {fn}({lit});")
+    ctx.emit(f"comp += {k} * {ctx.operand()};")
+    ctx.fp_locals.append(k)
+
+
+def _const_propagated(ctx: EmitCtx) -> None:
+    w, k = ctx.fresh(), ctx.fresh()
+    fn = ctx.rng.choice(["cos", "sin", "exp", "erf", "atan", "log1p"])
+    lit = f"{ctx.rng.uniform(0.05, 2.5):.6g}" + ctx._suffix()
+    ctx.emit(f"{ctx.fp} {w} = {lit};")
+    ctx.emit(f"{ctx.fp} {k} = {fn}({w});")
+    ctx.emit(f"comp += {k} * ({ctx.operand()} + {ctx.operand()});")
+    ctx.fp_locals.extend((w, k))
+
+
+def _newton_iter(ctx: EmitCtx) -> None:
+    r = ctx.fresh()
+    x = ctx.operand()
+    i = ctx.fresh()
+    ctx.emit(f"{ctx.fp} {r} = fabs({x}) * 0.5 + 1.0;")
+    ctx.emit(f"for (int {i} = 0; {i} < {ctx.rng.randint(3, 8)}; ++{i}) {{")
+    ctx.emit(f"  {r} = 0.5 * ({r} + fabs({x}) / ({r} + 1.0e-12));")
+    ctx.emit("}")
+    ctx.emit(f"comp += {r};")
+    ctx.fp_locals.append(r)
+
+
+def _guarded_norm(ctx: EmitCtx) -> None:
+    x = ctx.operand()
+    ctx.emit(f"comp += {x} / (fabs({x}) + {ctx.small_positive()});")
+
+
+def _stencil_array(ctx: EmitCtx) -> None:
+    buf = ctx.fresh()
+    size = ctx.rng.randint(5, _ARRAY_LEN)
+    init = ", ".join(ctx.literal() for _ in range(size))
+    i = ctx.fresh()
+    x = ctx.operand()
+    ctx.emit(f"{ctx.fp} {buf}[{size}] = {{{init}}};")
+    ctx.emit(f"for (int {i} = 1; {i} < {size - 1}; ++{i}) {{")
+    ctx.emit(f"  {buf}[{i}] = ({buf}[{i} - 1] + {buf}[{i} + 1]) * 0.5 + {x} * {ctx.literal()};")
+    ctx.emit("}")
+    ctx.emit(f"comp += {buf}[{size // 2}];")
+
+
+def _array_reduce(ctx: EmitCtx) -> None:
+    if ctx.arr_param is None:
+        return _dot_loop(ctx)
+    i = ctx.fresh()
+    acc = ctx.fresh()
+    ctx.emit(f"{ctx.fp} {acc} = 0.0;")
+    ctx.emit(f"for (int {i} = 0; {i} < {_ARRAY_LEN}; ++{i}) {{")
+    ctx.emit(f"  {acc} += {ctx.arr_param}[{i}] * ({ctx.operand()} + {i});")
+    ctx.emit("}")
+    ctx.emit(f"comp += {acc};")
+    ctx.fp_locals.append(acc)
+
+
+def _exp_decay_loop(ctx: EmitCtx) -> None:
+    i = ctx.fresh()
+    rate = ctx.small_positive()
+    x = ctx.operand()
+    ctx.emit(f"for (int {i} = 0; {i} < {ctx.trip(4, 24)}; ++{i}) {{")
+    ctx.emit(f"  comp += exp(-({rate}) * {i}) * {x};")
+    ctx.emit("}")
+
+
+def _pow_mix(ctx: EmitCtx) -> None:
+    x, y = ctx.operand(), ctx.operand()
+    e1 = ctx.rng.choice(["2.0", "3.0", "0.5", "4.0"])
+    ctx.emit(
+        f"comp += pow(fabs({x}) + 1.0, {e1}) - sqrt(fabs({y}) + {ctx.small_positive()});"
+    )
+
+
+def _rescale_gain(ctx: EmitCtx) -> None:
+    """comp *= (base + s*f(x)) — a bounded multiplicative gain.
+
+    Multiplicative coupling lets the gain's libm rounding reach the printed
+    bits whatever comp's magnitude; common HPC idiom (damping/normalization
+    factors) and a strong host-device trigger at every level.
+    """
+    f = ctx.rng.choice(["tanh", "atan", "erf", "sin", "cos"])
+    x = ctx.operand()
+    base = f"{ctx.rng.uniform(1.0, 1.3):.6g}" + ctx._suffix()
+    scale = f"{ctx.rng.uniform(0.2, 0.5):.6g}" + ctx._suffix()
+    ctx.emit(f"comp *= {base} + {scale} * {f}({x});")
+
+
+def _cond_update(ctx: EmitCtx) -> None:
+    thr = ctx.literal(1.0, 100.0)
+    ctx.emit(f"if (fabs(comp) > {thr}) {{")
+    ctx.emit(f"  comp *= {ctx.rng.uniform(0.05, 0.9):.4g}{ctx._suffix()};")
+    ctx.emit("} else {")
+    ctx.emit(f"  comp += {ctx.operand()} * {ctx.literal()};")
+    ctx.emit("}")
+
+
+def _log_guarded(ctx: EmitCtx) -> None:
+    x, y = ctx.operand(), ctx.operand()
+    ctx.emit(f"comp += log(fabs({x} * {y}) + 1.0);")
+
+
+def _sum_chain(ctx: EmitCtx) -> None:
+    terms = []
+    for _ in range(ctx.rng.randint(4, 7)):
+        v = ctx.operand()
+        lit = ctx.literal()
+        form = ctx.rng.choice([f"{v} * {lit}", f"{v}", f"({v} + {lit})", f"{v} / {ctx.small_positive()}"])
+        terms.append(form)
+    joined = " + ".join(terms)
+    ctx.emit(f"comp += {joined};")
+
+
+def _simple_arith(ctx: EmitCtx) -> None:
+    t = ctx.fresh()
+    ctx.emit(f"{ctx.fp} {t} = {ctx.operand()} + {ctx.operand()};")
+    ctx.emit(f"comp += {t};")
+    ctx.emit(f"comp *= {ctx.literal(0.2, 1.8)};")
+    ctx.fp_locals.append(t)
+
+
+def _ternary_clamp(ctx: EmitCtx) -> None:
+    t = ctx.fresh()
+    x, y = ctx.operand(), ctx.operand()
+    ctx.emit(f"{ctx.fp} {t} = {x} > {y} ? {x} : {y};")
+    ctx.emit(f"comp += {t} * {ctx.literal()};")
+    ctx.fp_locals.append(t)
+
+
+def _while_halve(ctx: EmitCtx) -> None:
+    h = ctx.fresh()
+    x = ctx.operand()
+    ctx.emit(f"{ctx.fp} {h} = fabs({x}) + 2.0;")
+    ctx.emit(f"while ({h} > 1.5) {{")
+    ctx.emit(f"  {h} *= 0.5;")
+    ctx.emit("}")
+    ctx.emit(f"comp += {h};")
+    ctx.fp_locals.append(h)
+
+
+PATTERNS: tuple[Pattern, ...] = (
+    Pattern("horner", 1.1, 0.6, _horner),
+    Pattern("dot_loop", 1.0, 0.6, _dot_loop),
+    Pattern("series_loop", 0.8, 0.5, _series_loop),
+    Pattern("trig_mix", 1.3, 0.7, _trig_mix),
+    Pattern("const_literal", 0.5, 0.35, _const_literal),
+    Pattern("const_propagated", 1.1, 0.5, _const_propagated),
+    Pattern("newton_iter", 0.6, 0.5, _newton_iter),
+    Pattern("guarded_norm", 0.8, 0.7, _guarded_norm),
+    Pattern("stencil_array", 0.9, 0.2, _stencil_array, grammar_only=True),
+    Pattern("array_reduce", 0.9, 0.2, _array_reduce, grammar_only=True),
+    Pattern("exp_decay_loop", 0.9, 0.5, _exp_decay_loop),
+    Pattern("pow_mix", 0.7, 0.5, _pow_mix),
+    Pattern("rescale_gain", 1.0, 0.45, _rescale_gain),
+    Pattern("cond_update", 0.6, 0.5, _cond_update),
+    Pattern("log_guarded", 0.7, 0.5, _log_guarded),
+    Pattern("sum_chain", 0.9, 0.8, _sum_chain),
+    Pattern("simple_arith", 0.3, 0.8, _simple_arith),
+    Pattern("ternary_clamp", 0.0, 0.7, _ternary_clamp),
+    Pattern("while_halve", 0.0, 0.5, _while_halve),
+)
+
+
+class ProgramSynthesizer:
+    """Builds one program for a parsed generation request."""
+
+    def __init__(self, config: GenerationConfig) -> None:
+        self.config = config
+
+    def synthesize(
+        self,
+        rng: SplittableRng,
+        kind: PromptKind,
+        precision: Precision,
+        presence_memory: list[str],
+    ) -> tuple[str, list[str]]:
+        """Returns (source, pattern names used)."""
+        fp = precision.c_type
+        style = _NAME_STYLES[rng.randint(0, len(_NAME_STYLES) - 1)]
+        n_fp = rng.randint(2, 4)
+        fp_params = list(style["fp"][:n_fp])
+        int_param = style["int"] if rng.bernoulli(0.7) else None
+        arr_param = style["arr"] if rng.bernoulli(0.35) else None
+
+        ctx = EmitCtx(
+            rng=rng.split("emit"),
+            fp=fp,
+            fp_params=fp_params,
+            int_param=int_param,
+            arr_param=arr_param,
+            local_names=style["locals"],
+        )
+        init = rng.choice(
+            ["0.0", f"{fp_params[0]} * {ctx.literal()}", f"{fp_params[0]} + {fp_params[-1]}"]
+        )
+        ctx.emit(f"{fp} comp = {init};")
+
+        if kind is PromptKind.GRAMMAR:
+            n_patterns = rng.randint(2, 4)
+        else:
+            n_patterns = rng.randint(2, 3)
+        used: list[str] = []
+        for _ in range(n_patterns):
+            pat = self._sample_pattern(rng, kind, used, presence_memory)
+            pat.emit(ctx)
+            used.append(pat.name)
+
+        ctx.emit('printf("%.17g\\n", comp);')
+        return self._assemble(ctx, fp, fp_params, int_param, arr_param), used
+
+    # -- pattern sampling ---------------------------------------------------------
+
+    def _sample_pattern(
+        self,
+        rng: SplittableRng,
+        kind: PromptKind,
+        used_in_program: list[str],
+        presence_memory: list[str],
+    ) -> Pattern:
+        cfg = self.config
+        candidates: list[Pattern] = []
+        logits: list[float] = []
+        for pat in PATTERNS:
+            w = pat.weight_grammar if kind is PromptKind.GRAMMAR else pat.weight_direct
+            if kind is PromptKind.GRAMMAR and pat.grammar_only:
+                w = pat.weight_grammar
+            if kind is not PromptKind.GRAMMAR and pat.grammar_only:
+                w = 0.0
+            if w <= 0.0:
+                continue
+            logit = math.log(w)
+            logit -= cfg.frequency_penalty * used_in_program.count(pat.name)
+            if pat.name in presence_memory:
+                logit -= cfg.presence_penalty
+            candidates.append(pat)
+            logits.append(logit)
+        t = max(cfg.temperature, 0.05)
+        mx = max(logits)
+        weights = [math.exp((lg - mx) / t) for lg in logits]
+        return candidates[rng.weighted_index(weights)]
+
+    # -- program assembly ------------------------------------------------------------
+
+    @staticmethod
+    def _assemble(
+        ctx: EmitCtx,
+        fp: str,
+        fp_params: list[str],
+        int_param: str | None,
+        arr_param: str | None,
+    ) -> str:
+        params: list[str] = [f"{fp} {p}" for p in fp_params]
+        if int_param:
+            params.append(f"int {int_param}")
+        if arr_param:
+            params.append(f"{fp} *{arr_param}")
+
+        # indentation: re-indent emitted lines by brace depth
+        body_lines: list[str] = []
+        depth = 1
+        for line in ctx.lines:
+            stripped = line.strip()
+            if stripped.startswith("}"):
+                depth -= 1
+            body_lines.append("  " * depth + stripped)
+            if stripped.endswith("{"):
+                depth += 1
+        body = "\n".join(body_lines)
+
+        main_pre: list[str] = []
+        call_args: list[str] = []
+        argi = 1
+        for p in fp_params:
+            call_args.append(f"atof(argv[{argi}])")
+            argi += 1
+        if int_param:
+            call_args.append(f"atoi(argv[{argi}])")
+            argi += 1
+        if arr_param:
+            elems = ", ".join(f"atof(argv[{argi + k}])" for k in range(_ARRAY_LEN))
+            main_pre.append(f"  {fp} in_{arr_param}[{_ARRAY_LEN}] = {{{elems}}};")
+            call_args.append(f"in_{arr_param}")
+
+        main_body = "\n".join(
+            main_pre + [f"  compute({', '.join(call_args)});", "  return 0;"]
+        )
+        return (
+            "#include <stdio.h>\n"
+            "#include <stdlib.h>\n"
+            "#include <math.h>\n\n"
+            f"void compute({', '.join(params)}) {{\n"
+            f"{body}\n"
+            "}\n\n"
+            "int main(int argc, char **argv) {\n"
+            f"{main_body}\n"
+            "}\n"
+        )

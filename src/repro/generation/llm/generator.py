@@ -1,0 +1,112 @@
+"""LLM-backed program generators for the paper's three LLM approaches.
+
+One class, three configurations (§3.2.1):
+
+* Direct-Prompt   — ``use_grammar=False, use_feedback=False``
+* Grammar-Guided  — ``use_grammar=True,  use_feedback=False``
+* LLM4FP          — ``use_grammar=True,  use_feedback=True`` (grammar with
+  probability 0.3, mutation of a successful example with probability 0.7,
+  §3.1.4; the first programs are always grammar-based since the successful
+  set starts empty, §2.3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.fp.formats import Precision
+from repro.generation.grammar import GrammarSpec
+from repro.generation.inputs import InputProfile, generate_inputs
+from repro.generation.llm.base import LLMClient, SuccessSet
+from repro.generation.program import GeneratedProgram
+from repro.generation.prompts import direct_prompt, grammar_prompt, mutation_prompt
+from repro.frontend.parser import parse_program
+from repro.utils.rng import SplittableRng
+
+__all__ = ["LLMProgramGenerator"]
+
+_ARRAY_LEN = 8
+
+
+class LLMProgramGenerator:
+    """Generates candidate programs by prompting an LLM client."""
+
+    input_profile = InputProfile.PLAUSIBLE
+
+    def __init__(
+        self,
+        name: str,
+        llm: LLMClient,
+        rng: SplittableRng,
+        precision: Precision = Precision.DOUBLE,
+        use_grammar: bool = True,
+        use_feedback: bool = False,
+        mutation_prob: float = 0.7,
+        grammar: GrammarSpec | None = None,
+        success_capacity: int = 4096,
+    ) -> None:
+        if not 0.0 <= mutation_prob <= 1.0:
+            raise ValueError("mutation_prob must be in [0, 1]")
+        self.name = name
+        self.llm = llm
+        self._rng = rng.split(f"llmgen-{name}")
+        self.precision = precision
+        self.use_grammar = use_grammar
+        self.use_feedback = use_feedback
+        self.mutation_prob = mutation_prob
+        self.grammar = grammar or GrammarSpec(precision=precision)
+        self.successes = SuccessSet(self._rng.split("successes"), success_capacity)
+        self._counter = 0
+
+    # -- ProgramGenerator --------------------------------------------------------
+
+    def generate(self) -> GeneratedProgram:
+        self._counter += 1
+        rng = self._rng.split(f"prog-{self._counter}")
+        strategy = self._pick_strategy(rng)
+
+        if strategy == "mutation":
+            prompt = mutation_prompt(self.successes.sample(), self.precision)
+        elif strategy == "grammar":
+            prompt = grammar_prompt(self.precision, self.grammar)
+        else:
+            prompt = direct_prompt(self.precision)
+
+        source = self.llm.complete(prompt)
+        inputs = self._inputs_for(rng, source)
+        return GeneratedProgram(
+            source=source,
+            inputs=inputs,
+            meta={"strategy": strategy, "approach": self.name, "index": self._counter},
+        )
+
+    def notify_success(self, program: GeneratedProgram) -> None:
+        if self.use_feedback:
+            self.successes.add(program.source)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _pick_strategy(self, rng: SplittableRng) -> str:
+        if self.use_feedback and len(self.successes) > 0 and rng.bernoulli(
+            self.mutation_prob
+        ):
+            return "mutation"
+        return "grammar" if self.use_grammar else "direct"
+
+    def _inputs_for(self, rng: SplittableRng, source: str) -> tuple:
+        """Pair the program with an input vector matching its signature."""
+        try:
+            unit = parse_program(source)
+            compute = unit.function("compute")
+        except (ReproError, KeyError):
+            return ()
+        param_types = []
+        for p in compute.params:
+            ty = p.type.base + ("*" if p.type.pointers else "")
+            param_types.append(ty)
+        return generate_inputs(
+            rng.split("inputs"),
+            param_types,
+            self.input_profile,
+            max_trip=self.grammar.max_loop_trip,
+            array_len=_ARRAY_LEN,
+        )

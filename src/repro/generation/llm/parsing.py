@@ -1,0 +1,62 @@
+"""Prompt parsing — the simulated LLM's 'reading' of its instructions.
+
+The SimLLM honours only what the prompt says, extracted here: the strategy
+(direct / grammar-guided / mutation), the requested precision, and the
+mutation example.  This keeps the framework-to-LLM interface string-typed
+and identical to the paper's, so the prompt builders are genuinely under
+test: a prompt that forgets the grammar section produces direct-style
+output.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.fp.formats import Precision
+
+__all__ = ["PromptKind", "GenerationRequest", "parse_prompt"]
+
+
+class PromptKind(enum.Enum):
+    DIRECT = "direct"
+    GRAMMAR = "grammar"
+    MUTATION = "mutation"
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    kind: PromptKind
+    precision: Precision
+    example: str | None = None
+    strategies: tuple[str, ...] = ()
+
+
+_FENCE = re.compile(r"```\n(.*?)\n```", re.DOTALL)
+_STRATEGY_LINE = re.compile(r"^- (.+)$", re.MULTILINE)
+
+
+def parse_prompt(prompt: str) -> GenerationRequest:
+    """Extract the structured request from prompt text."""
+    if "single precision" in prompt:
+        precision = Precision.SINGLE
+    else:
+        precision = Precision.DOUBLE
+
+    if "Change the given floating-point C program" in prompt:
+        m = _FENCE.search(prompt)
+        example = m.group(1) if m else None
+        strategies: tuple[str, ...] = ()
+        if "Mutation strategies to consider:" in prompt:
+            section = prompt.split("Mutation strategies to consider:")[1]
+            section = section.split("\n\n")[0]
+            strategies = tuple(_STRATEGY_LINE.findall(section))
+        return GenerationRequest(
+            PromptKind.MUTATION, precision, example=example, strategies=strategies
+        )
+
+    if "must follow this grammar" in prompt:
+        return GenerationRequest(PromptKind.GRAMMAR, precision)
+
+    return GenerationRequest(PromptKind.DIRECT, precision)

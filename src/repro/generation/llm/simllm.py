@@ -1,0 +1,83 @@
+"""SimLLM: the offline GPT-4 stand-in.
+
+``complete(prompt)`` is the whole interface — exactly what the paper's
+framework sends to the OpenAI API.  The model parses its instructions out
+of the prompt (strategy, precision, grammar presence, mutation example),
+then synthesizes plain C from the pattern library or mutates the example.
+A short presence memory across completions implements the presence-penalty
+behaviour (§3.1.4: penalties were tuned to "encourage new patterns").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.fp.formats import Precision
+from repro.generation.llm.base import GenerationConfig, LatencyModel
+from repro.generation.llm.codegen import ProgramSynthesizer
+from repro.generation.llm.mutator import Mutator
+from repro.generation.llm.parsing import PromptKind, parse_prompt
+from repro.utils.rng import SplittableRng
+
+__all__ = ["SimLLM"]
+
+
+class SimLLM:
+    """A deterministic-under-seed, prompt-driven program generator."""
+
+    def __init__(
+        self,
+        rng: SplittableRng,
+        config: GenerationConfig | None = None,
+        latency: LatencyModel | None = None,
+        presence_window: int = 8,
+    ) -> None:
+        self._rng = rng.split("simllm")
+        self.config = config or GenerationConfig()
+        self.latency = latency
+        self._synth = ProgramSynthesizer(self.config)
+        self._mutator = Mutator(self.config)
+        self._presence: deque[str] = deque(maxlen=presence_window)
+        self.calls = 0
+
+    # -- LLMClient ------------------------------------------------------------
+
+    def complete(self, prompt: str) -> str:
+        """Generate plain C code for the given prompt."""
+        self.calls += 1
+        if self.latency is not None:
+            self.latency.charge()
+        rng = self._rng.split(f"call-{self.calls}")
+        request = parse_prompt(prompt)
+
+        if request.kind is PromptKind.MUTATION and request.example:
+            mutated = self._mutator.mutate(
+                rng.split("mutate"), request.example, request.precision
+            )
+            if mutated is not None:
+                source, applied = mutated
+                self._presence.extend(applied[:2])
+                return source
+            # Mutation failed to produce a valid variant: fall back to
+            # fresh grammar-style generation, as a capable model would.
+            request = parse_prompt(prompt.replace(
+                "Change the given floating-point C program", ""
+            ))
+            source, used = self._synth.synthesize(
+                rng.split("fallback"),
+                PromptKind.GRAMMAR,
+                request.precision,
+                list(self._presence),
+            )
+            self._presence.extend(used)
+            return source
+
+        source, used = self._synth.synthesize(
+            rng.split("synth"), request.kind, request.precision, list(self._presence)
+        )
+        self._presence.extend(used)
+        return source
+
+    @property
+    def simulated_latency_seconds(self) -> float:
+        return self.latency.total_seconds if self.latency else 0.0

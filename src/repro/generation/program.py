@@ -1,0 +1,41 @@
+"""Generated-program value objects and the generator protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One candidate test program paired with its input vector (§3.1.3).
+
+    ``inputs`` has one entry per ``compute`` parameter: a float/int scalar
+    or a tuple of floats for pointer parameters.  ``meta`` records how the
+    program was produced (strategy, pattern names, mutation parent) for
+    diversity analysis and debugging.
+    """
+
+    source: str
+    inputs: tuple
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def strategy(self) -> str:
+        return self.meta.get("strategy", "unknown")
+
+
+class ProgramGenerator(Protocol):
+    """A source of candidate programs — one of the paper's four approaches."""
+
+    name: str
+
+    def generate(self) -> GeneratedProgram:
+        """Produce the next candidate program (with inputs)."""
+        ...
+
+    def notify_success(self, program: GeneratedProgram) -> None:
+        """Called by the harness when ``program`` triggered an inconsistency
+        (feeds the LLM4FP feedback loop; no-op for feedback-free approaches).
+        """
+        ...

@@ -1,0 +1,73 @@
+"""Expression IR, AST lowering, and the per-compiler optimization passes.
+
+Types are made explicit here: every implicit C conversion becomes a node,
+FP and integer operations are distinct, and FMA is a first-class operation
+that only the contraction pass introduces.  Pipelines of passes — defined in
+:mod:`repro.toolchains` — are the entire difference between two simulated
+compilers at the IR level.
+"""
+
+from repro.ir.nodes import (
+    Kernel,
+    FBin,
+    FCall,
+    FConst,
+    FNeg,
+    Fma,
+    IBin,
+    IConst,
+    INeg,
+    Compare,
+    Logic,
+    Not,
+    Select,
+    SiToFp,
+    FpToSi,
+    FpExt,
+    FpTrunc,
+    Load,
+    LoadElem,
+    SAssign,
+    SStoreElem,
+    SDeclArray,
+    SIf,
+    SFor,
+    SWhile,
+    SPrint,
+    SReturn,
+)
+from repro.ir.lower import lower_unit
+from repro.ir.passes.base import Pass, PassPipeline
+
+__all__ = [
+    "Kernel",
+    "FBin",
+    "FCall",
+    "FConst",
+    "FNeg",
+    "Fma",
+    "IBin",
+    "IConst",
+    "INeg",
+    "Compare",
+    "Logic",
+    "Not",
+    "Select",
+    "SiToFp",
+    "FpToSi",
+    "FpExt",
+    "FpTrunc",
+    "Load",
+    "LoadElem",
+    "SAssign",
+    "SStoreElem",
+    "SDeclArray",
+    "SIf",
+    "SFor",
+    "SWhile",
+    "SPrint",
+    "SReturn",
+    "lower_unit",
+    "Pass",
+    "PassPipeline",
+]

@@ -1,0 +1,338 @@
+"""IR node definitions.
+
+Expressions are immutable trees; statements form a structured CFG (no
+gotos — the source subset is structured).  Every expression knows whether
+it is floating-point (``fp``) or integer, and FP expressions carry their
+precision ("float"/"double") so mixed-precision programs lower correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ----------------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True, slots=True)
+class FConst:
+    value: float
+    ty: str = "double"  # "float" | "double"
+
+
+@dataclass(frozen=True, slots=True)
+class IConst:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Load:
+    """Read a scalar variable."""
+
+    name: str
+    ty: str  # "int" | "float" | "double"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadElem:
+    """Read an array/pointer element."""
+
+    name: str
+    index: "Expr"
+    ty: str  # element type
+
+
+@dataclass(frozen=True, slots=True)
+class FBin:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class FNeg:
+    operand: "Expr"
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class Fma:
+    """Fused a*b + c — produced only by the contraction pass."""
+
+    a: "Expr"
+    b: "Expr"
+    c: "Expr"
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class FCall:
+    name: str
+    args: tuple["Expr", ...]
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class IBin:
+    op: str  # + - * / %
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class INeg:
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Compare:
+    op: str  # == != < <= > >=
+    left: "Expr"
+    right: "Expr"
+    fp: bool  # floating comparison vs integer comparison
+
+
+@dataclass(frozen=True, slots=True)
+class Logic:
+    op: str  # && ||  (short-circuit)
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    """Ternary ?: — short-circuit select."""
+
+    cond: "Expr"
+    then: "Expr"
+    other: "Expr"
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class SiToFp:
+    operand: "Expr"
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class FpToSi:
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class FpExt:
+    """float -> double widening."""
+
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class FpTrunc:
+    """double -> float narrowing (a rounding step)."""
+
+    operand: "Expr"
+
+
+Expr = Union[
+    FConst,
+    IConst,
+    Load,
+    LoadElem,
+    FBin,
+    FNeg,
+    Fma,
+    FCall,
+    IBin,
+    INeg,
+    Compare,
+    Logic,
+    Not,
+    Select,
+    SiToFp,
+    FpToSi,
+    FpExt,
+    FpTrunc,
+]
+
+_FP_NODES = (FConst, FBin, FNeg, Fma, FCall, SiToFp, FpExt, FpTrunc)
+
+
+def expr_type(e: Expr) -> str:
+    """Static type of an IR expression: 'int', 'float' or 'double'."""
+    if isinstance(e, (IConst, IBin, INeg, Compare, Logic, Not, FpToSi)):
+        return "int"
+    if isinstance(e, (Load, LoadElem)):
+        return e.ty
+    if isinstance(e, FpExt):
+        return "double"
+    if isinstance(e, FpTrunc):
+        return "float"
+    if isinstance(e, Select):
+        return e.ty
+    return e.ty  # FConst, FBin, FNeg, Fma, FCall, SiToFp
+
+
+def is_fp(e: Expr) -> bool:
+    return expr_type(e) in ("float", "double")
+
+
+def walk(e: Expr):
+    """Yield ``e`` and all sub-expressions, pre-order."""
+    yield e
+    if isinstance(e, (FBin, IBin, Compare, Logic)):
+        yield from walk(e.left)
+        yield from walk(e.right)
+    elif isinstance(e, (FNeg, INeg, Not, SiToFp, FpToSi, FpExt, FpTrunc)):
+        yield from walk(e.operand)
+    elif isinstance(e, Fma):
+        yield from walk(e.a)
+        yield from walk(e.b)
+        yield from walk(e.c)
+    elif isinstance(e, FCall):
+        for a in e.args:
+            yield from walk(a)
+    elif isinstance(e, Select):
+        yield from walk(e.cond)
+        yield from walk(e.then)
+        yield from walk(e.other)
+    elif isinstance(e, LoadElem):
+        yield from walk(e.index)
+
+
+# ----------------------------------------------------------------------- statements
+
+
+@dataclass(frozen=True, slots=True)
+class SAssign:
+    """Scalar assignment ``name = value`` (compound ops already expanded)."""
+
+    name: str
+    value: Expr
+    ty: str  # declared type of the variable
+
+
+@dataclass(frozen=True, slots=True)
+class SDeclArray:
+    name: str
+    size: int
+    elem_ty: str
+    init: tuple[Expr, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SStoreElem:
+    name: str
+    index: Expr
+    value: Expr
+    elem_ty: str
+
+
+@dataclass(frozen=True, slots=True)
+class SIf:
+    cond: Expr
+    then: tuple["Stmt", ...]
+    other: tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SFor:
+    """Structured counted loop: init; while(cond) { body; step; }"""
+
+    init: tuple["Stmt", ...]
+    cond: Expr | None
+    step: tuple["Stmt", ...]
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SWhile:
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SPrint:
+    """printf with a literal format (the program's observable output)."""
+
+    fmt: str
+    values: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SReturn:
+    pass
+
+
+Stmt = Union[SAssign, SDeclArray, SStoreElem, SIf, SFor, SWhile, SPrint, SReturn]
+
+
+def walk_stmts(stmts: tuple[Stmt, ...]):
+    """Yield every statement, pre-order, recursing into bodies."""
+    for s in stmts:
+        yield s
+        if isinstance(s, SIf):
+            yield from walk_stmts(s.then)
+            yield from walk_stmts(s.other)
+        elif isinstance(s, SFor):
+            yield from walk_stmts(s.init)
+            yield from walk_stmts(s.body)
+            yield from walk_stmts(s.step)
+        elif isinstance(s, SWhile):
+            yield from walk_stmts(s.body)
+
+
+def stmt_exprs(s: Stmt):
+    """Top-level expressions of one statement (no recursion into bodies)."""
+    if isinstance(s, SAssign):
+        yield s.value
+    elif isinstance(s, SDeclArray) and s.init is not None:
+        yield from s.init
+    elif isinstance(s, SStoreElem):
+        yield s.index
+        yield s.value
+    elif isinstance(s, SIf):
+        yield s.cond
+    elif isinstance(s, SFor):
+        if s.cond is not None:
+            yield s.cond
+    elif isinstance(s, SWhile):
+        yield s.cond
+    elif isinstance(s, SPrint):
+        yield from s.values
+
+
+# ----------------------------------------------------------------------- kernel
+
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    name: str
+    ty: str  # 'int' | 'float' | 'double' | 'float*' | 'double*'
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ty.endswith("*")
+
+    @property
+    def scalar_ty(self) -> str:
+        return self.ty.rstrip("*")
+
+
+@dataclass(frozen=True, slots=True)
+class Kernel:
+    """Lowered `compute` function: what a toolchain optimizes and runs."""
+
+    name: str
+    params: tuple[Param, ...]
+    body: tuple[Stmt, ...]
+    var_types: dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+
+    def with_body(self, body: tuple[Stmt, ...]) -> "Kernel":
+        return Kernel(self.name, self.params, body, self.var_types)

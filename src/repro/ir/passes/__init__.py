@@ -1,0 +1,27 @@
+"""Optimization passes.
+
+Each pass is semantics-changing *only* in ways a real compiler's
+floating-point options permit: constant folding with a compile-time libm,
+FMA contraction, and the fast-math family (reassociation, reciprocal
+division, algebraic simplification, function substitution).  A compiler
+model is just an ordered pipeline of these.
+"""
+
+from repro.ir.passes.base import Pass, PassPipeline
+from repro.ir.passes.constant_fold import ConstantFold
+from repro.ir.passes.fma_contract import FmaContract
+from repro.ir.passes.reassociate import Reassociate
+from repro.ir.passes.recip_div import ReciprocalDivision
+from repro.ir.passes.finite_math import FiniteMathSimplify
+from repro.ir.passes.func_subst import FunctionSubstitution
+
+__all__ = [
+    "Pass",
+    "PassPipeline",
+    "ConstantFold",
+    "FmaContract",
+    "Reassociate",
+    "ReciprocalDivision",
+    "FiniteMathSimplify",
+    "FunctionSubstitution",
+]

@@ -1,0 +1,110 @@
+"""Pass infrastructure: expression-rewriting over structured statements."""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+
+__all__ = ["Pass", "ExprRewritePass", "PassPipeline", "rebuild_expr"]
+
+
+def rebuild_expr(e: ir.Expr, fn) -> ir.Expr:
+    """Bottom-up rewrite: apply ``fn`` to every node after rewriting children."""
+    if isinstance(e, ir.FBin):
+        e = ir.FBin(e.op, rebuild_expr(e.left, fn), rebuild_expr(e.right, fn), e.ty)
+    elif isinstance(e, ir.IBin):
+        e = ir.IBin(e.op, rebuild_expr(e.left, fn), rebuild_expr(e.right, fn))
+    elif isinstance(e, ir.Compare):
+        e = ir.Compare(e.op, rebuild_expr(e.left, fn), rebuild_expr(e.right, fn), e.fp)
+    elif isinstance(e, ir.Logic):
+        e = ir.Logic(e.op, rebuild_expr(e.left, fn), rebuild_expr(e.right, fn))
+    elif isinstance(e, ir.FNeg):
+        e = ir.FNeg(rebuild_expr(e.operand, fn), e.ty)
+    elif isinstance(e, ir.INeg):
+        e = ir.INeg(rebuild_expr(e.operand, fn))
+    elif isinstance(e, ir.Not):
+        e = ir.Not(rebuild_expr(e.operand, fn))
+    elif isinstance(e, ir.Fma):
+        e = ir.Fma(
+            rebuild_expr(e.a, fn), rebuild_expr(e.b, fn), rebuild_expr(e.c, fn), e.ty
+        )
+    elif isinstance(e, ir.FCall):
+        e = ir.FCall(e.name, tuple(rebuild_expr(a, fn) for a in e.args), e.ty)
+    elif isinstance(e, ir.Select):
+        e = ir.Select(
+            rebuild_expr(e.cond, fn),
+            rebuild_expr(e.then, fn),
+            rebuild_expr(e.other, fn),
+            e.ty,
+        )
+    elif isinstance(e, ir.LoadElem):
+        e = ir.LoadElem(e.name, rebuild_expr(e.index, fn), e.ty)
+    elif isinstance(e, (ir.SiToFp, ir.FpToSi, ir.FpExt, ir.FpTrunc)):
+        cls = type(e)
+        if isinstance(e, ir.SiToFp):
+            e = ir.SiToFp(rebuild_expr(e.operand, fn), e.ty)
+        else:
+            e = cls(rebuild_expr(e.operand, fn))
+    return fn(e)
+
+
+class Pass:
+    """A kernel-to-kernel transformation."""
+
+    name: str = "pass"
+
+    def run(self, kernel: ir.Kernel) -> ir.Kernel:
+        raise NotImplementedError
+
+
+class ExprRewritePass(Pass):
+    """Base for passes that only rewrite expressions in place."""
+
+    def rewrite(self, e: ir.Expr) -> ir.Expr:
+        raise NotImplementedError
+
+    def run(self, kernel: ir.Kernel) -> ir.Kernel:
+        return kernel.with_body(self._stmts(kernel.body))
+
+    def _stmts(self, stmts: tuple[ir.Stmt, ...]) -> tuple[ir.Stmt, ...]:
+        return tuple(self._stmt(s) for s in stmts)
+
+    def _stmt(self, s: ir.Stmt) -> ir.Stmt:
+        rw = lambda e: rebuild_expr(e, self.rewrite)
+        if isinstance(s, ir.SAssign):
+            return ir.SAssign(s.name, rw(s.value), s.ty)
+        if isinstance(s, ir.SDeclArray):
+            init = tuple(rw(e) for e in s.init) if s.init is not None else None
+            return ir.SDeclArray(s.name, s.size, s.elem_ty, init)
+        if isinstance(s, ir.SStoreElem):
+            return ir.SStoreElem(s.name, rw(s.index), rw(s.value), s.elem_ty)
+        if isinstance(s, ir.SIf):
+            return ir.SIf(rw(s.cond), self._stmts(s.then), self._stmts(s.other))
+        if isinstance(s, ir.SFor):
+            cond = rw(s.cond) if s.cond is not None else None
+            return ir.SFor(
+                self._stmts(s.init), cond, self._stmts(s.step), self._stmts(s.body)
+            )
+        if isinstance(s, ir.SWhile):
+            return ir.SWhile(rw(s.cond), self._stmts(s.body))
+        if isinstance(s, ir.SPrint):
+            return ir.SPrint(s.fmt, tuple(rw(v) for v in s.values))
+        return s  # SReturn
+
+
+class PassPipeline:
+    """An ordered list of passes — the compiler model's optimizer."""
+
+    def __init__(self, passes: list[Pass] | tuple[Pass, ...] = ()) -> None:
+        self.passes = list(passes)
+
+    def run(self, kernel: ir.Kernel) -> ir.Kernel:
+        for p in self.passes:
+            kernel = p.run(kernel)
+        return kernel
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PassPipeline({self.names})"

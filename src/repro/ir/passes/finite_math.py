@@ -1,0 +1,77 @@
+"""Finite-math-only algebraic simplifications (fast math).
+
+``-ffast-math`` implies ``-ffinite-math-only`` and ``-fno-signed-zeros``:
+the compiler may simplify as if NaN, infinities and the sign of zero never
+matter.  When a run *does* hit those values, the simplified binary diverges
+catastrophically from the strict one — this pass is the main producer of
+the extreme-value inconsistency kinds the paper observes almost exclusively
+at ``O3_fastmath`` (Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir import nodes as ir
+from repro.ir.passes.base import ExprRewritePass
+
+__all__ = ["FiniteMathSimplify"]
+
+
+def _is_const(e: ir.Expr, value: float) -> bool:
+    return isinstance(e, ir.FConst) and e.value == value and not math.isnan(value)
+
+
+class FiniteMathSimplify(ExprRewritePass):
+    name = "finite-math"
+
+    def rewrite(self, e: ir.Expr) -> ir.Expr:
+        if isinstance(e, ir.FBin):
+            return self._fbin(e)
+        if isinstance(e, ir.FCall):
+            return self._fcall(e)
+        return e
+
+    def _fbin(self, e: ir.FBin) -> ir.Expr:
+        l, r = e.left, e.right
+        if e.op == "-" and l == r:
+            # x - x -> 0  (wrong if x is inf or NaN)
+            return ir.FConst(0.0, e.ty)
+        if e.op == "/" and l == r:
+            # x / x -> 1  (wrong if x is 0, inf or NaN)
+            return ir.FConst(1.0, e.ty)
+        if e.op == "*":
+            # x * 0 -> 0  (wrong if x is inf or NaN; drops -0 sign)
+            if _is_const(l, 0.0):
+                return ir.FConst(0.0, e.ty)
+            if _is_const(r, 0.0):
+                return ir.FConst(0.0, e.ty)
+            # x * 1 -> x  (exact; harmless but canonicalizing)
+            if _is_const(l, 1.0):
+                return r
+            if _is_const(r, 1.0):
+                return l
+        if e.op == "+":
+            # x + 0 -> x  (wrong sign for x == -0.0)
+            if _is_const(r, 0.0):
+                return l
+            if _is_const(l, 0.0):
+                return r
+        if e.op == "-" and _is_const(r, 0.0):
+            return l
+        if e.op == "/" and _is_const(r, 1.0):
+            return l
+        return e
+
+    def _fcall(self, e: ir.FCall) -> ir.Expr:
+        if e.name == "sqrt" and len(e.args) == 1:
+            arg = e.args[0]
+            # sqrt(x) * sqrt(x) is handled at the FBin level below via
+            # x/x-style structural equality; here: sqrt(x*x) -> fabs(x).
+            if isinstance(arg, ir.FBin) and arg.op == "*" and arg.left == arg.right:
+                return ir.FCall("fabs", (arg.left,), e.ty)
+        if e.name == "fabs" and len(e.args) == 1:
+            arg = e.args[0]
+            if isinstance(arg, ir.FCall) and arg.name == "fabs":
+                return arg
+        return e

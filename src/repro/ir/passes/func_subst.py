@@ -1,0 +1,57 @@
+"""Fast-math math-function substitutions.
+
+Under fast math compilers expand cheap special cases of ``pow``:
+``pow(x, 2.0)`` becomes ``x*x``, small integer exponents become multiply
+chains, and ``pow(x, 0.5)`` becomes ``sqrt(x)``.  The expansions round
+differently from the library call (and ``sqrt`` has different domain
+behaviour at ``-0``/negative inputs), adding host-side fast-math
+divergence.  The exponent threshold and the half-power rule differ per
+compiler model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir import nodes as ir
+from repro.ir.passes.base import ExprRewritePass
+
+__all__ = ["FunctionSubstitution"]
+
+
+class FunctionSubstitution(ExprRewritePass):
+    name = "func-subst"
+
+    def __init__(self, max_pow_expand: int = 4, pow_half_to_sqrt: bool = True) -> None:
+        if max_pow_expand < 1:
+            raise ValueError("max_pow_expand must be >= 1")
+        self.max_pow_expand = max_pow_expand
+        self.pow_half_to_sqrt = pow_half_to_sqrt
+
+    def rewrite(self, e: ir.Expr) -> ir.Expr:
+        if not (isinstance(e, ir.FCall) and e.name == "pow" and len(e.args) == 2):
+            return e
+        base, expo = e.args
+        # A literal exponent may reach us as FConst or as FNeg(FConst)
+        # (the lowering keeps the source's unary minus).
+        if isinstance(expo, ir.FConst):
+            v = expo.value
+        elif isinstance(expo, ir.FNeg) and isinstance(expo.operand, ir.FConst):
+            v = -expo.operand.value
+        else:
+            return e
+        if self.pow_half_to_sqrt and v == 0.5:
+            return ir.FCall("sqrt", (base,), e.ty)
+        if not (math.isfinite(v) and v == int(v)):
+            return e
+        n = int(v)
+        if n == 0:
+            return ir.FConst(1.0, e.ty)
+        if abs(n) > self.max_pow_expand:
+            return e
+        acc: ir.Expr = base
+        for _ in range(abs(n) - 1):
+            acc = ir.FBin("*", acc, base, e.ty)
+        if n < 0:
+            acc = ir.FBin("/", ir.FConst(1.0, e.ty), acc, e.ty)
+        return acc

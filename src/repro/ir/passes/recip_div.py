@@ -1,0 +1,31 @@
+"""Reciprocal-math: ``x / y`` -> ``x * (1.0 / y)`` under fast math.
+
+Part of ``-ffast-math`` (``-freciprocal-math``): replaces one correctly
+rounded division with two roundings (reciprocal, then multiply), which
+perturbs the quotient by up to an ulp or so — another fast-math-only
+divergence source.
+"""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+from repro.ir.passes.base import ExprRewritePass
+
+__all__ = ["ReciprocalDivision"]
+
+
+class ReciprocalDivision(ExprRewritePass):
+    name = "recip-div"
+
+    def __init__(self, constants_only: bool = False) -> None:
+        #: when True, only divisions by a literal constant are rewritten
+        #: (the conservative variant some compilers apply at -O2).
+        self.constants_only = constants_only
+
+    def rewrite(self, e: ir.Expr) -> ir.Expr:
+        if not (isinstance(e, ir.FBin) and e.op == "/"):
+            return e
+        if self.constants_only and not isinstance(e.right, ir.FConst):
+            return e
+        one = ir.FConst(1.0, e.ty)
+        return ir.FBin("*", e.left, ir.FBin("/", one, e.right, e.ty), e.ty)

@@ -1,0 +1,20 @@
+"""Program-diversity metrics: CodeBLEU and NiCad-style clone detection (§3.2.2)."""
+
+from repro.metrics.ctokens import c_tokens, normalize_tokens
+from repro.metrics.bleu import bleu_score
+from repro.metrics.codebleu import codebleu, CodeBleuParts
+from repro.metrics.clones import CloneReport, detect_clones, CloneType
+from repro.metrics.diversity import average_pairwise_codebleu, corpus_diversity
+
+__all__ = [
+    "c_tokens",
+    "normalize_tokens",
+    "bleu_score",
+    "codebleu",
+    "CodeBleuParts",
+    "CloneReport",
+    "detect_clones",
+    "CloneType",
+    "average_pairwise_codebleu",
+    "corpus_diversity",
+]

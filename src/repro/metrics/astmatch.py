@@ -1,0 +1,102 @@
+"""Syntactic AST match — the third CodeBLEU component.
+
+Counts candidate AST subtrees (shape signatures with leaf values
+anonymized, per Ren et al.) that also occur in the reference.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import ReproError
+from repro.frontend import ast
+from repro.frontend.parser import parse_program
+
+__all__ = ["subtree_signatures", "ast_match"]
+
+
+def _expr_sig(e: ast.Expr) -> str:
+    if isinstance(e, ast.IntLit):
+        return "Int"
+    if isinstance(e, ast.FloatLit):
+        return "Float"
+    if isinstance(e, ast.StrLit):
+        return "Str"
+    if isinstance(e, ast.Ident):
+        return "Id"
+    if isinstance(e, ast.Unary):
+        return f"U{e.op}({_expr_sig(e.operand)})"
+    if isinstance(e, ast.Binary):
+        return f"B{e.op}({_expr_sig(e.left)},{_expr_sig(e.right)})"
+    if isinstance(e, ast.Ternary):
+        return f"T({_expr_sig(e.cond)},{_expr_sig(e.then)},{_expr_sig(e.other)})"
+    if isinstance(e, ast.Call):
+        args = ",".join(_expr_sig(a) for a in e.args)
+        return f"Call:{e.name}({args})"
+    if isinstance(e, ast.Index):
+        return f"Ix({_expr_sig(e.base)},{_expr_sig(e.index)})"
+    if isinstance(e, ast.Cast):
+        return f"Cast:{e.type}({_expr_sig(e.operand)})"
+    raise TypeError(type(e).__name__)
+
+
+def _stmt_sig(s: ast.Stmt) -> str:
+    if isinstance(s, ast.Decl):
+        parts = ",".join(
+            ("arr" if d.array_size is not None else "var")
+            + ("=" + _expr_sig(d.init) if d.init is not None else "")
+            for d in s.declarators
+        )
+        return f"Decl:{s.base.base}[{parts}]"
+    if isinstance(s, ast.Assign):
+        return f"Asg{s.op}({_expr_sig(s.target)},{_expr_sig(s.value)})"
+    if isinstance(s, ast.IncDec):
+        return f"Inc{s.op}({_expr_sig(s.target)})"
+    if isinstance(s, ast.ExprStmt):
+        return f"Expr({_expr_sig(s.expr)})"
+    if isinstance(s, ast.Block):
+        return "Blk(" + ";".join(_stmt_sig(x) for x in s.stmts) + ")"
+    if isinstance(s, ast.If):
+        other = _stmt_sig(s.other) if s.other is not None else ""
+        return f"If({_expr_sig(s.cond)},{_stmt_sig(s.then)},{other})"
+    if isinstance(s, ast.For):
+        init = _stmt_sig(s.init) if s.init is not None else ""
+        cond = _expr_sig(s.cond) if s.cond is not None else ""
+        step = _stmt_sig(s.step) if s.step is not None else ""
+        return f"For({init};{cond};{step};{_stmt_sig(s.body)})"
+    if isinstance(s, ast.While):
+        return f"While({_expr_sig(s.cond)},{_stmt_sig(s.body)})"
+    if isinstance(s, ast.Return):
+        return "Ret" + (f"({_expr_sig(s.value)})" if s.value is not None else "")
+    raise TypeError(type(s).__name__)
+
+
+def subtree_signatures(source: str) -> Counter:
+    """Multiset of subtree signatures of all functions in ``source``.
+
+    Every expression and statement node contributes one signature covering
+    its full subtree.  Unparsable source yields an empty counter.
+    """
+    try:
+        unit = parse_program(source)
+    except ReproError:
+        return Counter()
+    sigs: Counter = Counter()
+    for fn in unit.functions:
+        for s in ast.walk_stmts(fn.body):
+            sigs[_stmt_sig(s)] += 1
+            for top in ast.stmt_exprs(s):
+                for e in ast.walk_exprs(top):
+                    sigs[_expr_sig(e)] += 1
+    return sigs
+
+
+def ast_match(candidate: str, reference: str) -> float:
+    """Fraction of candidate subtrees found in the reference (clipped)."""
+    cand = subtree_signatures(candidate)
+    ref = subtree_signatures(reference)
+    total = sum(cand.values())
+    if total == 0:
+        return 0.0
+    matched = sum(min(c, ref.get(sig, 0)) for sig, c in cand.items())
+    return matched / total

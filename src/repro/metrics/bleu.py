@@ -1,0 +1,65 @@
+"""BLEU over token sequences (Papineni et al. 2002), the CodeBLEU base."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["ngram_counts", "modified_precision", "bleu_score"]
+
+
+def ngram_counts(tokens: Sequence[str], n: int) -> Counter:
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def modified_precision(
+    candidate: Sequence[str],
+    reference: Sequence[str],
+    n: int,
+    weights: dict[str, float] | None = None,
+) -> tuple[float, float]:
+    """Clipped n-gram precision (numerator, denominator).
+
+    ``weights`` optionally weight n-grams by their first token (used by the
+    CodeBLEU keyword-weighted variant).
+    """
+    cand = ngram_counts(candidate, n)
+    ref = ngram_counts(reference, n)
+    if not cand:
+        return 0.0, 0.0
+
+    def w(gram: tuple[str, ...]) -> float:
+        if weights is None:
+            return 1.0
+        return weights.get(gram[0], 1.0)
+
+    num = sum(min(count, ref.get(gram, 0)) * w(gram) for gram, count in cand.items())
+    den = sum(count * w(gram) for gram, count in cand.items())
+    return num, den
+
+
+def bleu_score(
+    candidate: Sequence[str],
+    reference: Sequence[str],
+    max_n: int = 4,
+    weights: dict[str, float] | None = None,
+) -> float:
+    """Sentence BLEU with uniform n-gram weights and brevity penalty.
+
+    Uses add-epsilon smoothing for empty n-gram matches so short programs
+    still produce informative scores.
+    """
+    if not candidate or not reference:
+        return 0.0
+    precisions: list[float] = []
+    for n in range(1, max_n + 1):
+        num, den = modified_precision(candidate, reference, n, weights)
+        if den == 0.0:
+            precisions.append(1e-9)
+        else:
+            precisions.append(max(num / den, 1e-9))
+    log_avg = sum(math.log(p) for p in precisions) / max_n
+    c, r = len(candidate), len(reference)
+    bp = 1.0 if c > r else math.exp(1 - r / max(c, 1))
+    return bp * math.exp(log_avg)

@@ -1,0 +1,106 @@
+"""NiCad-style clone detection (Cordy & Roy 2011; Roy & Cordy taxonomy).
+
+The paper checks Type-1, Type-2 and Type-2c clones across each approach's
+1,000 generated programs and finds none (§3.2.3).  Definitions:
+
+* Type-1  — identical code up to whitespace/comments (equal token streams);
+* Type-2  — identical up to arbitrary renaming of identifiers/literals/types
+  (equal blind-normalized streams);
+* Type-2c — NiCad's stricter subtype: identical up to *consistent* renaming
+  (equal consistently-indexed normalized streams).
+
+An optional near-miss mode reports pairs above a token-level similarity
+threshold, NiCad's UPI-style knob, useful for corpus inspection.
+"""
+
+from __future__ import annotations
+
+import difflib
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import LexError
+from repro.metrics.ctokens import c_tokens, normalize_tokens
+
+__all__ = ["CloneType", "CloneReport", "detect_clones", "near_miss_pairs"]
+
+
+class CloneType(enum.Enum):
+    TYPE1 = "Type-1"
+    TYPE2 = "Type-2"
+    TYPE2C = "Type-2c"
+
+
+@dataclass
+class CloneReport:
+    """Clone classes per type: lists of program-index groups (size >= 2)."""
+
+    classes: dict[CloneType, list[list[int]]] = field(default_factory=dict)
+    skipped: list[int] = field(default_factory=list)  # unlexable programs
+
+    def count(self, clone_type: CloneType) -> int:
+        """Number of clone *instances*: members beyond each class's first."""
+        return sum(len(group) - 1 for group in self.classes.get(clone_type, []))
+
+    @property
+    def clone_free(self) -> bool:
+        return all(self.count(t) == 0 for t in CloneType)
+
+
+def _stream(source: str, clone_type: CloneType) -> tuple[str, ...] | None:
+    try:
+        if clone_type is CloneType.TYPE1:
+            return tuple(c_tokens(source))
+        if clone_type is CloneType.TYPE2:
+            return tuple(normalize_tokens(source, consistent=False))
+        return tuple(normalize_tokens(source, consistent=True))
+    except LexError:
+        return None
+
+
+def detect_clones(sources: list[str]) -> CloneReport:
+    """Exact Type-1/2/2c clone classes over a program corpus."""
+    report = CloneReport()
+    skipped: set[int] = set()
+    for clone_type in CloneType:
+        buckets: dict[tuple[str, ...], list[int]] = defaultdict(list)
+        for i, src in enumerate(sources):
+            stream = _stream(src, clone_type)
+            if stream is None:
+                skipped.add(i)
+                continue
+            buckets[stream].append(i)
+        report.classes[clone_type] = [
+            group for group in buckets.values() if len(group) >= 2
+        ]
+    report.skipped = sorted(skipped)
+    return report
+
+
+def near_miss_pairs(
+    sources: list[str], threshold: float = 0.9, consistent: bool = True
+) -> list[tuple[int, int, float]]:
+    """Pairs whose normalized token streams exceed ``threshold`` similarity.
+
+    Similarity is difflib's ratio over Type-2(-c) normalized streams —
+    NiCad's near-miss spirit without its line-based diffing.  Quadratic;
+    intended for corpus inspection, not the inner loop.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    streams: list[tuple[int, tuple[str, ...]]] = []
+    for i, src in enumerate(sources):
+        try:
+            streams.append((i, tuple(normalize_tokens(src, consistent=consistent))))
+        except LexError:
+            continue
+    out: list[tuple[int, int, float]] = []
+    for a in range(len(streams)):
+        ia, sa = streams[a]
+        for b in range(a + 1, len(streams)):
+            ib, sb = streams[b]
+            ratio = difflib.SequenceMatcher(None, sa, sb).ratio()
+            if ratio >= threshold:
+                out.append((ia, ib, ratio))
+    return out

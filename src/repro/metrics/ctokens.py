@@ -1,0 +1,56 @@
+"""Token streams for the diversity metrics.
+
+Reuses the frontend lexer so metric tokenization agrees with the language
+definition.  ``normalize_tokens`` implements the NiCad-style
+normalizations: Type-2 renames identifiers/literals to category
+placeholders; Type-2c renames identifiers *consistently* (same source name
+-> same placeholder index).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind
+
+__all__ = ["c_tokens", "normalize_tokens"]
+
+
+def c_tokens(source: str) -> list[str]:
+    """Lex C source to a token-text list (EOF dropped).
+
+    Raises :class:`LexError` on unlexable input — metric callers filter
+    invalid programs beforehand.
+    """
+    lexed = tokenize(source)
+    return [t.text for t in lexed.tokens if t.kind is not TokenKind.EOF]
+
+
+def _kinds(source: str) -> list[Token]:
+    return [t for t in tokenize(source).tokens if t.kind is not TokenKind.EOF]
+
+
+def normalize_tokens(source: str, consistent: bool = False) -> list[str]:
+    """Type-2 normalization: identifiers/literals become placeholders.
+
+    With ``consistent=True`` (Type-2c), each distinct identifier maps to a
+    stable indexed placeholder (``ID1``, ``ID2``, ...), so only *consistent*
+    renamings match.
+    """
+    out: list[str] = []
+    mapping: dict[str, str] = {}
+    for tok in _kinds(source):
+        if tok.kind is TokenKind.IDENT:
+            if consistent:
+                if tok.text not in mapping:
+                    mapping[tok.text] = f"ID{len(mapping) + 1}"
+                out.append(mapping[tok.text])
+            else:
+                out.append("ID")
+        elif tok.kind in (TokenKind.INT_LIT, TokenKind.FLOAT_LIT):
+            out.append("LIT")
+        elif tok.kind is TokenKind.STRING_LIT:
+            out.append("STR")
+        else:
+            out.append(tok.text)
+    return out

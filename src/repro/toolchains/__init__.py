@@ -1,0 +1,34 @@
+"""Simulated compiler toolchains: gcc/clang host models and the nvcc device model.
+
+Each compiler is a pass pipeline + floating-point environment per
+optimization level (Table 1 of the paper).  The default trio matches the
+paper's setup: ``gcc`` 9.4 and ``clang`` 12.0 as host compilers, ``nvcc``
+12.3 as the device compiler compiling the CUDA translation.
+"""
+
+from repro.toolchains.base import Binary, Compiler, CompilerKind
+from repro.toolchains.optlevels import OptLevel, ALL_LEVELS, flags_for
+from repro.toolchains.gcc import GccCompiler
+from repro.toolchains.clang import ClangCompiler
+from repro.toolchains.nvcc import NvccCompiler
+from repro.toolchains.system import SystemGcc, system_gcc_available
+
+__all__ = [
+    "Binary",
+    "Compiler",
+    "CompilerKind",
+    "OptLevel",
+    "ALL_LEVELS",
+    "flags_for",
+    "GccCompiler",
+    "ClangCompiler",
+    "NvccCompiler",
+    "SystemGcc",
+    "system_gcc_available",
+    "default_compilers",
+]
+
+
+def default_compilers() -> list[Compiler]:
+    """The paper's compiler set: gcc, clang (host) and nvcc (device)."""
+    return [GccCompiler(), ClangCompiler(), NvccCompiler()]

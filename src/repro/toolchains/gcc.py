@@ -1,0 +1,59 @@
+"""The gcc 9.4 host-compiler model.
+
+Mechanisms (see DESIGN.md "mechanism map"):
+
+* links the glibc math library at O0..O3 (:func:`~repro.fp.mathlib.HostLibm`)
+  and its finite/fast entry points under ``-ffast-math``;
+* no FMA contraction at any level — a baseline x86-64 target has no FMA
+  instruction, which is why the paper's Table 5 reports no gcc O0 vs
+  O0_nofma difference;
+* from ``-O1`` folds constant-argument libm calls with a correctly rounded
+  compile-time evaluator (MPFR in real gcc), which may differ from the
+  runtime glibc result by an ulp;
+* ``-ffast-math`` adds reciprocal math, pow expansion (including
+  ``pow(x, 0.5) -> sqrt``), balanced-tree reassociation, and
+  finite-math-only simplifications.
+"""
+
+from __future__ import annotations
+
+from repro.fp.env import FPEnvironment
+from repro.fp.mathlib import FastHostLibm, HostLibm
+from repro.ir.passes import (
+    ConstantFold,
+    FiniteMathSimplify,
+    FunctionSubstitution,
+    PassPipeline,
+    Reassociate,
+    ReciprocalDivision,
+)
+from repro.toolchains.base import Compiler, CompilerKind
+from repro.toolchains.optlevels import OptLevel
+
+__all__ = ["GccCompiler"]
+
+
+class GccCompiler(Compiler):
+    name = "gcc"
+    kind = CompilerKind.HOST
+    version = "9.4"
+
+    def pipeline(self, level: OptLevel) -> PassPipeline:
+        if level in (OptLevel.O0_NOFMA, OptLevel.O0):
+            return PassPipeline()
+        if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
+            return PassPipeline([ConstantFold(fold_calls=True, propagate=False)])
+        return PassPipeline(
+            [
+                ConstantFold(fold_calls=True, propagate=False),
+                FunctionSubstitution(max_pow_expand=4, pow_half_to_sqrt=True),
+                ReciprocalDivision(),
+                Reassociate(style="balanced"),
+                FiniteMathSimplify(),
+            ]
+        )
+
+    def environment(self, level: OptLevel) -> FPEnvironment:
+        if level is OptLevel.O3_FASTMATH:
+            return FPEnvironment(libm=FastHostLibm())
+        return FPEnvironment(libm=HostLibm())

@@ -1,0 +1,70 @@
+"""The nvcc 12.3 device-compiler model.
+
+The device compiler consumes the CUDA translation of the candidate program
+(§2.4: ``compute`` as a ``__global__`` kernel, single block/thread); the
+lowered kernel IR is identical, so this model compiles the same unit with
+device semantics:
+
+* links the CUDA Math Library (:func:`~repro.fp.mathlib.CudaLibm`), whose
+  faithful-rounding outcomes differ from glibc's — the dominant host-device
+  inconsistency source at every level (paper RQ3);
+* contracts FMA at **every** level except ``O0_nofma`` (``--fmad=true`` is
+  the nvcc default; only the explicit ``--fmad=false`` disables it) — hence
+  the paper's flat nvcc rows in Tables 4/5 and the nonzero nvcc O0 vs
+  O0_nofma entry in Table 5;
+* under ``--use_fast_math`` the *single-precision* pipeline additionally
+  flushes subnormals to zero and uses approximate division/square root and
+  hardware intrinsics; double-precision math is unaffected (matching CUDA's
+  documented fast-math scope, and the paper's nearly-flat nvcc column in
+  Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.fp.env import FPEnvironment
+from repro.fp.formats import Precision
+from repro.fp.mathlib import CudaLibm, FastCudaLibm
+from repro.ir.passes import FmaContract, PassPipeline
+from repro.toolchains.base import Compiler, CompilerKind
+from repro.toolchains.optlevels import OptLevel
+
+__all__ = ["NvccCompiler"]
+
+
+class NvccCompiler(Compiler):
+    name = "nvcc"
+    kind = CompilerKind.DEVICE
+    version = "12.3"
+
+    #: fraction of eligible multiply-add sites ptxas actually fuses (see
+    #: :class:`~repro.ir.passes.fma_contract.FmaContract` — selective,
+    #: deterministic per site, identical across levels)
+    DEFAULT_FMAD_PROB = 0.10
+
+    def __init__(
+        self,
+        precision: Precision = Precision.DOUBLE,
+        fmad_prob: float = DEFAULT_FMAD_PROB,
+    ) -> None:
+        #: kernel precision: fast-math FTZ/approx units apply to FP32 only.
+        self.precision = precision
+        self.fmad_prob = fmad_prob
+
+    def pipeline(self, level: OptLevel) -> PassPipeline:
+        if level is OptLevel.O0_NOFMA:
+            return PassPipeline()
+        return PassPipeline([FmaContract(site_prob=self.fmad_prob)])
+
+    def environment(self, level: OptLevel) -> FPEnvironment:
+        fast32 = (
+            level is OptLevel.O3_FASTMATH and self.precision is Precision.SINGLE
+        )
+        if fast32:
+            return FPEnvironment(
+                precision=self.precision,
+                libm=FastCudaLibm(),
+                ftz=True,
+                approx_div=True,
+                approx_sqrt=True,
+            )
+        return FPEnvironment(precision=self.precision, libm=CudaLibm())

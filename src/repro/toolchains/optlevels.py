@@ -1,0 +1,62 @@
+"""Optimization levels and their command-line flags (paper Table 1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class OptLevel(enum.Enum):
+    """The six levels of the paper's evaluation, in ascending aggressiveness.
+
+    ``O0_NOFMA`` is the most IEEE-compliant configuration (``-O0`` with FMA
+    contraction explicitly disabled) and serves as the RQ4 baseline;
+    ``O3_FASTMATH`` trades IEEE compliance for speed.
+    """
+
+    O0_NOFMA = "O0_nofma"
+    O0 = "O0"
+    O1 = "O1"
+    O2 = "O2"
+    O3 = "O3"
+    O3_FASTMATH = "O3_fastmath"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: All levels in Table 1 order.
+ALL_LEVELS: tuple[OptLevel, ...] = (
+    OptLevel.O0_NOFMA,
+    OptLevel.O0,
+    OptLevel.O1,
+    OptLevel.O2,
+    OptLevel.O3,
+    OptLevel.O3_FASTMATH,
+)
+
+_HOST_FLAGS = {
+    OptLevel.O0_NOFMA: "-O0 -ffp-contract=off",
+    OptLevel.O0: "-O0",
+    OptLevel.O1: "-O1",
+    OptLevel.O2: "-O2",
+    OptLevel.O3: "-O3",
+    OptLevel.O3_FASTMATH: "-O3 -ffast-math",
+}
+
+_NVCC_FLAGS = {
+    OptLevel.O0_NOFMA: "-O0 --fmad=false",
+    OptLevel.O0: "-O0",
+    OptLevel.O1: "-O1",
+    OptLevel.O2: "-O2",
+    OptLevel.O3: "-O3",
+    OptLevel.O3_FASTMATH: "-O3 --use_fast_math",
+}
+
+
+def flags_for(compiler_family: str, level: OptLevel) -> str:
+    """Table 1: the flag string for a compiler family at a level."""
+    if compiler_family in ("gcc", "clang"):
+        return _HOST_FLAGS[level]
+    if compiler_family == "nvcc":
+        return _NVCC_FLAGS[level]
+    raise KeyError(f"unknown compiler family {compiler_family!r}")

@@ -1,0 +1,59 @@
+"""Optional grounding backend: compile and run candidates with the real gcc.
+
+Not part of the simulated evaluation — the paper's compilers are modeled in
+:mod:`repro.toolchains` — but when a real ``gcc`` exists on the machine this
+adapter lets tests sanity-check the simulated strict host semantics against
+actual hardware for simple programs (transcendental-free ones, where the
+simulation must agree bit-for-bit with IEEE hardware).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro.errors import CompileError, ExecError
+
+__all__ = ["SystemGcc", "system_gcc_available"]
+
+
+def system_gcc_available() -> bool:
+    return shutil.which("gcc") is not None
+
+
+class SystemGcc:
+    """Compile C source with the host's gcc and run it with given argv."""
+
+    def __init__(self, flags: tuple[str, ...] = ("-O0",), timeout: float = 10.0) -> None:
+        if not system_gcc_available():
+            raise CompileError("no system gcc on PATH")
+        self.flags = flags
+        self.timeout = timeout
+
+    def run(self, source: str, argv: tuple[str, ...] = ()) -> str:
+        """Compile + execute; returns stdout text."""
+        with tempfile.TemporaryDirectory(prefix="llm4fp-gcc-") as tmp:
+            src = Path(tmp) / "prog.c"
+            exe = Path(tmp) / "prog"
+            src.write_text(source)
+            proc = subprocess.run(
+                ["gcc", *self.flags, str(src), "-o", str(exe), "-lm"],
+                capture_output=True,
+                text=True,
+                timeout=self.timeout,
+            )
+            if proc.returncode != 0:
+                raise CompileError(f"system gcc failed:\n{proc.stderr}")
+            run = subprocess.run(
+                [str(exe), *argv],
+                capture_output=True,
+                text=True,
+                timeout=self.timeout,
+            )
+            if run.returncode != 0:
+                raise ExecError(
+                    f"binary exited with {run.returncode}: {run.stderr.strip()}"
+                )
+            return run.stdout

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG streams, timing, table rendering."""
+
+from repro.utils.rng import SplittableRng
+from repro.utils.timing import Stopwatch, format_hms
+from repro.utils.tables import TextTable
+
+__all__ = ["SplittableRng", "Stopwatch", "format_hms", "TextTable"]

@@ -1,0 +1,107 @@
+"""Deterministic, splittable random streams.
+
+Every stochastic component in the library draws from a :class:`SplittableRng`
+so that campaigns are reproducible bit-for-bit from a single integer seed.
+Child streams are derived from (parent key, label) pairs rather than by
+sharing state, so adding a new consumer never perturbs existing streams —
+the property that makes A/B ablations meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _derive_key(key: int, label: str) -> int:
+    digest = hashlib.blake2b(
+        label.encode("utf-8"), key=key.to_bytes(8, "little"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class SplittableRng:
+    """A seeded random stream that can fork independent child streams.
+
+    The instance wraps :class:`random.Random` for sampling and keeps a
+    64-bit key for derivation.  ``split(label)`` returns a child whose
+    sequence depends only on ``(seed, path-of-labels)``.
+    """
+
+    def __init__(self, seed: int, _label: str = "root") -> None:
+        self._key = _derive_key(seed & _MASK64, _label)
+        self._random = random.Random(self._key)
+        self._label = _label
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def split(self, label: str) -> "SplittableRng":
+        """Fork an independent child stream named ``label``."""
+        child = SplittableRng.__new__(SplittableRng)
+        child._key = _derive_key(self._key, label)
+        child._random = random.Random(child._key)
+        child._label = f"{self._label}/{label}"
+        return child
+
+    # -- sampling ---------------------------------------------------------
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._random.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        return self._random.randint(lo, hi)
+
+    def getrandbits(self, k: int) -> int:
+        return self._random.getrandbits(k)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        if not seq:
+            raise IndexError("choice from empty sequence")
+        return seq[self._random.randrange(len(seq))]
+
+    def choices(self, seq: Sequence[T], weights: Sequence[float], k: int = 1) -> list[T]:
+        return self._random.choices(seq, weights=weights, k=k)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(list(seq), k)
+
+    def shuffle(self, items: list[T]) -> None:
+        self._random.shuffle(items)
+
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        return self._random.gauss(mu, sigma)
+
+    def expovariate(self, lambd: float) -> float:
+        return self._random.expovariate(lambd)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        return self._random.random() < p
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Sample an index proportionally to non-negative ``weights``."""
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ValueError("weights must have positive sum")
+        x = self._random.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if x < acc:
+                return i
+        return len(weights) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SplittableRng(label={self._label!r}, key={self._key:#018x})"

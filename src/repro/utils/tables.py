@@ -1,0 +1,48 @@
+"""Minimal monospaced table rendering for experiment reports.
+
+The experiment runners print the same rows the paper's tables report;
+this renderer keeps that output dependency-free and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """A left-aligned text table with a header row and optional title."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

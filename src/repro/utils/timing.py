@@ -1,0 +1,69 @@
+"""Wall-clock accounting for campaign time-cost reporting (Table 2)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def format_hms(seconds: float) -> str:
+    """Format a duration as ``hh:mm:ss``, the unit used by the paper."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(round(seconds))
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h:02d}:{m:02d}:{s:02d}"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across named phases.
+
+    Campaigns charge generation / compilation / execution / comparison time
+    to separate buckets so the report can attribute cost the way the paper's
+    §3.2.3 discussion does (LLM latency dominates the LLM-based approaches).
+    """
+
+    buckets: dict[str, float] = field(default_factory=dict)
+    _open: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def start(self, phase: str) -> None:
+        if phase in self._open:
+            raise RuntimeError(f"phase {phase!r} already running")
+        self._open[phase] = time.perf_counter()
+
+    def stop(self, phase: str) -> float:
+        try:
+            t0 = self._open.pop(phase)
+        except KeyError:
+            raise RuntimeError(f"phase {phase!r} was not started") from None
+        dt = time.perf_counter() - t0
+        self.buckets[phase] = self.buckets.get(phase, 0.0) + dt
+        return dt
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Directly add ``seconds`` to ``phase`` (synthetic latency models)."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.buckets[phase] = self.buckets.get(phase, 0.0) + seconds
+
+    class _PhaseCtx:
+        def __init__(self, sw: "Stopwatch", phase: str) -> None:
+            self._sw, self._phase = sw, phase
+
+        def __enter__(self) -> None:
+            self._sw.start(self._phase)
+
+        def __exit__(self, *exc: object) -> None:
+            self._sw.stop(self._phase)
+
+    def phase(self, name: str) -> "Stopwatch._PhaseCtx":
+        return Stopwatch._PhaseCtx(self, name)
+
+    @property
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def as_hms(self) -> str:
+        return format_hms(self.total)

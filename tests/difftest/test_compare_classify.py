@@ -1,0 +1,103 @@
+"""Comparison primitives and kind classification."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.difftest.classify import (
+    ALL_KINDS,
+    KindCount,
+    inconsistency_kind,
+    kind_label,
+)
+from repro.difftest.compare import (
+    compare_signatures,
+    digit_difference,
+    value_digit_difference,
+)
+from repro.fp.classify import FPClass
+
+
+class TestCompare:
+    def test_equal_signatures_consistent(self):
+        assert compare_signatures("ab", "ab") is True
+
+    def test_different_inconsistent(self):
+        assert compare_signatures("ab", "ac") is False
+
+    def test_missing_side_not_comparable(self):
+        assert compare_signatures(None, "ab") is None
+        assert compare_signatures("ab", None) is None
+
+    def test_digit_difference(self):
+        assert digit_difference("0000", "0000") == 0
+        assert digit_difference("0001", "0000") == 1
+        assert digit_difference("ffff", "0000") == 4
+
+    def test_digit_difference_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            digit_difference("abc", "ab")
+
+    def test_value_digit_difference_one_ulp(self):
+        a = 1.0
+        b = math.nextafter(1.0, 2.0)
+        assert value_digit_difference(a, b) == 1
+
+    def test_value_digit_difference_inf_vs_real(self):
+        # inf vs an ordinary real differs in most of the 16 digits
+        assert value_digit_difference(math.inf, 1.2345) >= 10
+
+    @given(st.floats(allow_nan=False))
+    def test_self_difference_zero(self, x):
+        assert value_digit_difference(x, x) == 0
+
+
+class TestKinds:
+    def test_real_real(self):
+        k = inconsistency_kind(1.0, 2.0)
+        assert k == frozenset({FPClass.REAL})
+        assert kind_label(k) == "{Real, Real}"
+
+    def test_real_nan(self):
+        k = inconsistency_kind(1.0, math.nan)
+        assert kind_label(k) == "{Real, NaN}"
+
+    def test_zero_inf(self):
+        k = inconsistency_kind(0.0, math.inf)
+        assert kind_label(k) == "{Zero, +Inf}"
+
+    def test_signed_zeros_same_class(self):
+        k = inconsistency_kind(0.0, -0.0)
+        assert kind_label(k) == "{Zero, Zero}"
+
+    def test_inf_inf_pair(self):
+        k = inconsistency_kind(math.inf, -math.inf)
+        assert kind_label(k) == "{+Inf, -Inf}"
+
+    def test_all_kinds_count(self):
+        # 5 classes -> C(5,2) + 5 same-class = 15 unordered pairs
+        assert len(ALL_KINDS) == 15
+
+    def test_kind_count_tally(self):
+        kc = KindCount()
+        kc.record(1.0, 2.0)
+        kc.record(1.0, math.nan)
+        kc.record(3.0, 4.0)
+        assert kc.total == 3
+        assert kc.get(FPClass.REAL) == 2
+        assert kc.get(FPClass.REAL, FPClass.NAN) == 1
+
+    def test_kind_count_merge(self):
+        a, b = KindCount(), KindCount()
+        a.record(1.0, 2.0)
+        b.record(1.0, 2.0)
+        a.merge(b)
+        assert a.total == 2
+
+    def test_as_labels_skips_zero(self):
+        kc = KindCount()
+        kc.record(1.0, 2.0)
+        labels = kc.as_labels()
+        assert labels == {"{Real, Real}": 1}

@@ -1,0 +1,46 @@
+"""NaN canonicalization in output signatures.
+
+The paper's five-class taxonomy has one NaN category and no {NaN, NaN}
+inconsistency kind; sign/payload-only NaN differences must therefore not
+register as inconsistencies.
+"""
+
+import math
+import struct
+
+from repro.execution.result import ExecStatus, ExecutionResult, _value_hex
+
+
+def _nan_with_sign_bit() -> float:
+    return struct.unpack("<d", struct.pack("<Q", 0xFFF8000000000000))[0]
+
+
+class TestNanCanonicalization:
+    def test_positive_and_negative_nan_same_hex(self):
+        assert _value_hex(math.nan) == _value_hex(_nan_with_sign_bit())
+
+    def test_payload_nan_same_hex(self):
+        payload = struct.unpack("<d", struct.pack("<Q", 0x7FF800000000BEEF))[0]
+        assert _value_hex(math.nan) == _value_hex(payload)
+
+    def test_canonical_hex_is_quiet_nan(self):
+        assert _value_hex(math.nan) == "7ff8000000000000"
+
+    def test_non_nan_unchanged(self):
+        assert _value_hex(1.0) == "3ff0000000000000"
+        assert _value_hex(-0.0) == "8000000000000000"  # signed zero kept
+
+    def test_signatures_with_mixed_nans_match(self):
+        a = ExecutionResult(ExecStatus.OK, printed=(1.0, math.nan))
+        b = ExecutionResult(ExecStatus.OK, printed=(1.0, _nan_with_sign_bit()))
+        assert a.signature() == b.signature()
+
+    def test_signed_zero_still_differs(self):
+        a = ExecutionResult(ExecStatus.OK, printed=(0.0,))
+        b = ExecutionResult(ExecStatus.OK, printed=(-0.0,))
+        assert a.signature() != b.signature()
+
+    def test_inf_not_canonicalized(self):
+        a = ExecutionResult(ExecStatus.OK, printed=(math.inf,))
+        b = ExecutionResult(ExecStatus.OK, printed=(-math.inf,))
+        assert a.signature() != b.signature()

@@ -1,0 +1,96 @@
+"""Bit-pattern conversions and the paper's hex encoding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.bits import (
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    double_to_hex,
+    hex_to_double,
+    single_to_bits,
+    single_to_hex,
+)
+
+
+class TestDoubleBits:
+    def test_zero(self):
+        assert double_to_bits(0.0) == 0
+        assert double_to_bits(-0.0) == 1 << 63
+
+    def test_one(self):
+        assert double_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_infinities(self):
+        assert double_to_bits(math.inf) == 0x7FF0000000000000
+        assert double_to_bits(-math.inf) == 0xFFF0000000000000
+
+    def test_nan_is_nan_pattern(self):
+        bits = double_to_bits(math.nan)
+        assert (bits >> 52) & 0x7FF == 0x7FF
+        assert bits & ((1 << 52) - 1) != 0
+
+    def test_roundtrip_smallest_subnormal(self):
+        assert bits_to_double(1) == 5e-324
+
+    def test_bits_range_check(self):
+        with pytest.raises(ValueError):
+            bits_to_double(1 << 64)
+        with pytest.raises(ValueError):
+            bits_to_double(-1)
+
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip_random(self, x):
+        assert bits_to_double(double_to_bits(x)) == x
+
+    @given(st.floats(allow_nan=False))
+    def test_sign_bit(self, x):
+        assert bool(double_to_bits(x) >> 63) == (math.copysign(1.0, x) < 0)
+
+
+class TestHexEncoding:
+    def test_sixteen_chars(self):
+        assert len(double_to_hex(3.14)) == 16
+
+    def test_lowercase(self):
+        s = double_to_hex(-1.5e300)
+        assert s == s.lower()
+
+    def test_known_value(self):
+        assert double_to_hex(1.0) == "3ff0000000000000"
+
+    def test_hex_roundtrip_nan_payload(self):
+        s = double_to_hex(math.nan)
+        assert math.isnan(hex_to_double(s))
+
+    def test_hex_to_double_rejects_short(self):
+        with pytest.raises(ValueError):
+            hex_to_double("3ff")
+
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip(self, x):
+        assert hex_to_double(double_to_hex(x)) == x
+
+    def test_distinct_values_distinct_hex(self):
+        # The entire differential-testing comparison rests on this.
+        assert double_to_hex(0.1 + 0.2) != double_to_hex(0.3)
+
+
+class TestSingleBits:
+    def test_one(self):
+        assert single_to_bits(1.0) == 0x3F800000
+
+    def test_hex_width(self):
+        assert len(single_to_hex(2.5)) == 8
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            bits_to_single(1 << 32)
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip_binary32(self, x):
+        assert bits_to_single(single_to_bits(x)) == x

@@ -1,0 +1,47 @@
+"""The paper's five-way result classification (RQ2, Section 3.3.1)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.classify import CLASS_ORDER, FPClass, classify_double
+
+
+class TestClassify:
+    def test_normal_is_real(self):
+        assert classify_double(1.5) is FPClass.REAL
+
+    def test_subnormal_is_real(self):
+        # The paper counts subnormals in the Real class.
+        assert classify_double(5e-324) is FPClass.REAL
+        assert classify_double(-1e-310) is FPClass.REAL
+
+    def test_signed_zeros_are_zero(self):
+        assert classify_double(0.0) is FPClass.ZERO
+        assert classify_double(-0.0) is FPClass.ZERO
+
+    def test_infinities_are_signed(self):
+        assert classify_double(math.inf) is FPClass.POS_INF
+        assert classify_double(-math.inf) is FPClass.NEG_INF
+
+    def test_nan(self):
+        assert classify_double(math.nan) is FPClass.NAN
+        assert classify_double(-math.nan) is FPClass.NAN
+
+    def test_max_finite_is_real(self):
+        assert classify_double(1.7976931348623157e308) is FPClass.REAL
+
+    def test_class_order_covers_all(self):
+        assert set(CLASS_ORDER) == set(FPClass)
+
+    def test_str_labels_match_paper(self):
+        assert str(FPClass.REAL) == "Real"
+        assert str(FPClass.POS_INF) == "+Inf"
+        assert str(FPClass.NEG_INF) == "-Inf"
+        assert str(FPClass.NAN) == "NaN"
+        assert str(FPClass.ZERO) == "Zero"
+
+    @given(st.floats())
+    def test_total_function(self, x):
+        assert classify_double(x) in FPClass

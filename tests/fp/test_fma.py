@@ -1,0 +1,149 @@
+"""Correctness of the exact FMA against a Fraction-based oracle."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bits import double_to_bits
+from repro.fp.fma import fma, round_scaled_int
+from repro.fp.formats import FP32, FP64
+from repro.fp.ulp import next_down, next_up
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def oracle_round(value: Fraction) -> float:
+    """Round an exact rational (denominator a power of two) to binary64 by
+    bisection on the double lattice — slow but unimpeachable."""
+    if value == 0:
+        return 0.0
+    try:
+        return float(value)  # correctly rounded per CPython (true for Fraction)
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
+
+
+class TestRoundScaledInt:
+    def test_zero(self):
+        assert round_scaled_int(0, 0) == 0.0
+
+    def test_small_ints_exact(self):
+        for n in range(-100, 100):
+            assert round_scaled_int(n, 0) == float(n)
+
+    def test_powers_of_two(self):
+        assert round_scaled_int(1, 100) == 2.0**100
+        assert round_scaled_int(1, -100) == 2.0**-100
+
+    def test_overflow_to_inf(self):
+        assert round_scaled_int(1, 2000) == math.inf
+        assert round_scaled_int(-1, 2000) == -math.inf
+
+    def test_subnormal_rounding(self):
+        # 1.5 * 2**-1074 is exactly between 1 and 2 subnormal steps:
+        # ties-to-even picks the even significand (2 steps -> 2 * 5e-324).
+        assert round_scaled_int(3, -1075) == 2 * 5e-324
+
+    def test_underflow_to_zero(self):
+        # 0.25 * 2**-1074 rounds to zero.
+        assert round_scaled_int(1, -1077) == 0.0
+
+    def test_ties_to_even(self):
+        # 2**53 + 1 is exactly halfway between representable doubles.
+        assert round_scaled_int(2**53 + 1, 0) == float(2**53)
+        assert round_scaled_int(2**53 + 3, 0) == float(2**53 + 4)
+
+    def test_fp32_precision(self):
+        # 2**24 + 1 halfway in binary32 -> rounds to even 2**24.
+        assert round_scaled_int(2**24 + 1, 0, FP32) == float(2**24)
+
+    def test_fp32_overflow(self):
+        assert round_scaled_int(1, 400, FP32) == math.inf
+
+    @given(st.integers(min_value=-(2**200), max_value=2**200),
+           st.integers(min_value=-300, max_value=300))
+    @settings(max_examples=300)
+    def test_against_fraction_oracle(self, n, e):
+        expected = oracle_round(Fraction(n) * Fraction(2) ** e)
+        assert round_scaled_int(n, e) == expected or (
+            math.isinf(expected) and math.isinf(round_scaled_int(n, e))
+        )
+
+
+class TestFmaSpecials:
+    def test_nan_propagates(self):
+        assert math.isnan(fma(math.nan, 1.0, 1.0))
+        assert math.isnan(fma(1.0, math.nan, 1.0))
+        assert math.isnan(fma(1.0, 1.0, math.nan))
+
+    def test_zero_times_inf(self):
+        assert math.isnan(fma(0.0, math.inf, 1.0))
+        assert math.isnan(fma(math.inf, 0.0, 5.0))
+
+    def test_inf_minus_inf(self):
+        assert math.isnan(fma(math.inf, 1.0, -math.inf))
+
+    def test_inf_product_dominates(self):
+        assert fma(math.inf, 2.0, -1e308) == math.inf
+        assert fma(-math.inf, 2.0, 1e308) == -math.inf
+
+    def test_c_inf(self):
+        assert fma(1.0, 1.0, math.inf) == math.inf
+
+    def test_zero_product_signed(self):
+        assert math.copysign(1.0, fma(-0.0, 5.0, 0.0)) == 1.0
+        assert math.copysign(1.0, fma(-0.0, 5.0, -0.0)) == -1.0
+
+    def test_exact_cancellation_positive_zero(self):
+        assert math.copysign(1.0, fma(1.0, 1.0, -1.0)) == 1.0
+
+
+class TestFmaValues:
+    def test_differs_from_two_step(self):
+        # The canonical example: single vs double rounding must disagree
+        # somewhere, else FMA contraction would never matter.
+        a = 1.0 + 2.0**-30
+        b = 1.0 + 2.0**-30
+        assert fma(a, b, -1.0) == 2.0**-29 + 2.0**-60
+        assert a * b - 1.0 != fma(a, b, -1.0)
+
+    def test_exact_when_product_representable(self):
+        assert fma(2.0, 3.0, 4.0) == 10.0
+        assert fma(1.5, 2.0, 0.25) == 3.25
+
+    def test_overflow(self):
+        assert fma(1e308, 10.0, 0.0) == math.inf
+
+    @given(finite, finite, finite)
+    @settings(max_examples=300)
+    def test_against_fraction_oracle(self, a, b, c):
+        exact = Fraction(a) * Fraction(b) + Fraction(c)
+        got = fma(a, b, c)
+        expected = oracle_round(exact)
+        if math.isinf(expected):
+            assert math.isinf(got) and math.copysign(1.0, got) == math.copysign(
+                1.0, expected
+            )
+        elif expected == 0.0 and exact != 0:
+            assert got == 0.0
+        else:
+            assert double_to_bits(got) == double_to_bits(expected) or got == expected
+
+    @given(finite, finite, finite)
+    @settings(max_examples=200)
+    def test_monotone_vs_exact(self, a, b, c):
+        """The fused result never over/undershoots the exact value by more
+        than half an ulp of itself (i.e. rounding is faithful)."""
+        fused = fma(a, b, c)
+        if math.isfinite(fused) and fused != 0.0:
+            exact = Fraction(a) * Fraction(b) + Fraction(c)
+            lo, hi = sorted((next_down(fused), next_up(fused)))
+            # An infinite neighbour (fused at the ends of the finite range)
+            # leaves that side unbounded.
+            if math.isfinite(lo):
+                assert Fraction(lo) <= exact
+            if math.isfinite(hi):
+                assert exact <= Fraction(hi)

@@ -1,0 +1,87 @@
+"""Huge-argument trig decorrelation in the library models.
+
+Past ``huge_trig_threshold``, each library's argument reduction returns its
+own deterministic value — the mechanism behind Varity's large digit
+differences and {Real, NaN}-type inconsistencies at every level (RQ2/RQ3).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.mathlib import (
+    CorrectlyRoundedLibm,
+    CudaLibm,
+    FastCudaLibm,
+    HostLibm,
+    PerturbedLibm,
+)
+
+HUGE = 3.7e115
+
+
+class TestThresholdBehaviour:
+    def test_below_threshold_tracks_reference(self):
+        host = HostLibm()
+        cr = CorrectlyRoundedLibm()
+        # Within 1 ulp of the correctly rounded value below the threshold.
+        x = 12345.678
+        got, ref = host.call("sin", (x,)), cr.call("sin", (x,))
+        assert abs(got - ref) <= 2 * abs(ref) * 2**-52 + 1e-300
+
+    def test_above_threshold_decorrelates_libraries(self):
+        host, cuda = HostLibm(), CudaLibm()
+        diffs = sum(
+            host.call("sin", (HUGE * (1 + i),)) != cuda.call("sin", (HUGE * (1 + i),))
+            for i in range(20)
+        )
+        assert diffs >= 18  # reductions agree on (almost) nothing
+
+    def test_huge_deterministic(self):
+        cuda = CudaLibm()
+        assert cuda.call("cos", (HUGE,)) == cuda.call("cos", (HUGE,))
+
+    def test_huge_sin_cos_bounded_or_nan(self):
+        host = HostLibm()
+        for i in range(50):
+            v = host.call("sin", (HUGE * (1 + i),))
+            assert math.isnan(v) or -1.0 <= v <= 1.0
+
+    def test_huge_tan_can_exceed_unit(self):
+        host = HostLibm()
+        values = [host.call("tan", (HUGE * (1 + i),)) for i in range(200)]
+        assert any(not math.isnan(v) and abs(v) > 1.0 for v in values)
+
+    def test_nan_probability_ordering(self):
+        """The CUDA model fails reduction more often than glibc's."""
+        host, cuda = HostLibm(), CudaLibm()
+        host_nans = sum(
+            math.isnan(host.call("sin", (HUGE * (1 + i),))) for i in range(400)
+        )
+        cuda_nans = sum(
+            math.isnan(cuda.call("sin", (HUGE * (1 + i),))) for i in range(400)
+        )
+        assert cuda_nans > host_nans
+
+    def test_infinite_argument_still_nan(self):
+        # C99: sin(inf) is NaN — the decorrelation only covers finite args.
+        assert math.isnan(HostLibm().call("sin", (math.inf,)))
+
+    def test_non_trig_unaffected(self):
+        host = HostLibm()
+        # exp of a huge argument overflows identically to the reference.
+        assert host.call("exp", (1e9,)) == math.inf
+
+    def test_nan_prob_validated(self):
+        with pytest.raises(ValueError):
+            PerturbedLibm("x", salt="s", max_ulps=1, perturb_prob=0.5,
+                          huge_trig_nan_prob=1.5)
+
+    @given(st.floats(min_value=1e9, max_value=1e300))
+    @settings(max_examples=100)
+    def test_huge_results_valid_class(self, x):
+        for lib in (HostLibm(), CudaLibm(), FastCudaLibm()):
+            v = lib.call("sin", (x,))
+            assert math.isnan(v) or -1.0 <= v <= 1.0

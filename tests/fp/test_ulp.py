@@ -1,0 +1,91 @@
+"""Lattice walking and ulp distances used by the libm models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.bits import bits_to_double
+from repro.fp.ulp import next_down, next_up, offset_by_ulps, ulp_distance
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestUlpDistance:
+    def test_identical(self):
+        assert ulp_distance(1.0, 1.0) == 0
+
+    def test_adjacent(self):
+        assert ulp_distance(1.0, math.nextafter(1.0, 2.0)) == 1
+
+    def test_signed_zeros_one_apart(self):
+        # Their hex encodings differ, so the comparison logic must see them
+        # as distinct; we model that as distance 1.
+        assert ulp_distance(0.0, -0.0) == 1
+
+    def test_across_zero(self):
+        a = bits_to_double(1)  # smallest positive subnormal
+        assert ulp_distance(a, -a) == 2
+
+    def test_nan_far_from_everything(self):
+        assert ulp_distance(math.nan, 1.0) == 1 << 64
+
+    def test_same_nan_payload_is_zero(self):
+        assert ulp_distance(math.nan, math.nan) == 0
+
+    def test_symmetry_example(self):
+        assert ulp_distance(1.0, 2.0) == ulp_distance(2.0, 1.0)
+
+    @given(finite, finite)
+    def test_symmetry(self, a, b):
+        assert ulp_distance(a, b) == ulp_distance(b, a)
+
+    @given(finite)
+    def test_next_up_is_one_ulp(self, x):
+        up = next_up(x)
+        if not math.isinf(up):
+            assert 1 <= ulp_distance(x, up) <= 1 or x == 0.0
+
+
+class TestOffset:
+    def test_offset_zero_is_identity(self):
+        assert offset_by_ulps(1.5, 0) == 1.5
+
+    def test_offset_roundtrips(self):
+        x = 3.141592653589793
+        assert offset_by_ulps(offset_by_ulps(x, 7), -7) == x
+
+    def test_saturates_to_inf(self):
+        assert offset_by_ulps(1.7976931348623157e308, 5) == math.inf
+        assert offset_by_ulps(-1.7976931348623157e308, -5) == -math.inf
+
+    def test_inf_fixed_point(self):
+        assert offset_by_ulps(math.inf, 3) == math.inf
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            offset_by_ulps(math.nan, 1)
+
+    @given(finite, st.integers(min_value=-100, max_value=100))
+    def test_distance_consistent(self, x, n):
+        y = offset_by_ulps(x, n)
+        if not math.isinf(y) and not (x == 0.0 and n != 0):
+            assert ulp_distance(x, y) <= abs(n)
+
+
+class TestNeighbours:
+    def test_next_up_down_inverse(self):
+        x = 2.718281828459045
+        assert next_down(next_up(x)) == x
+
+    def test_next_up_from_zero(self):
+        assert next_up(0.0) == 5e-324
+
+    def test_next_down_from_zero(self):
+        assert next_down(0.0) == -5e-324
+
+    def test_matches_math_nextafter(self):
+        for x in (1.0, -1.0, 1e-308, 1e308, 0.5):
+            assert next_up(x) == math.nextafter(x, math.inf)
+            assert next_down(x) == math.nextafter(x, -math.inf)

@@ -1,0 +1,219 @@
+"""Parser: program structure, statements, expression precedence."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse_program
+from repro.frontend.printer import expr_to_c
+
+PROGRAM = """
+#include <stdio.h>
+#include <math.h>
+
+void compute(double a, double b, int n, double *arr) {
+  double comp = 0.0;
+  double tmp[4] = {1.0, 2.0, 3.0, 4.0};
+  for (int i = 0; i < n; ++i) {
+    tmp[1] = a * b + tmp[0];
+    if (tmp[1] > 1.0e3) {
+      comp += sin(a) / (b + 1.5);
+    } else {
+      comp -= cos(b);
+    }
+  }
+  comp = comp + arr[0];
+  printf("%.17g\\n", comp);
+}
+
+int main(int argc, char **argv) {
+  double data[2] = {0.5, 0.25};
+  compute(atof(argv[1]), atof(argv[2]), atoi(argv[3]), data);
+  return 0;
+}
+"""
+
+
+def parse_expr(text):
+    unit = parse_program(f"void compute(double x) {{ double c = {text}; }}")
+    decl = unit.functions[0].body.stmts[0]
+    return decl.declarators[0].init
+
+
+class TestProgramStructure:
+    def test_parses_full_program(self):
+        unit = parse_program(PROGRAM)
+        assert [f.name for f in unit.functions] == ["compute", "main"]
+        assert unit.includes == ("stdio.h", "math.h")
+
+    def test_compute_params(self):
+        fn = parse_program(PROGRAM).function("compute")
+        assert [p.name for p in fn.params] == ["a", "b", "n", "arr"]
+        assert fn.params[3].type.pointers == 1
+
+    def test_missing_function_lookup(self):
+        with pytest.raises(KeyError):
+            parse_program(PROGRAM).function("nope")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_array_param_decays(self):
+        unit = parse_program("void compute(double a[]) { double c = a[0]; }")
+        assert unit.functions[0].params[0].type.pointers == 1
+
+
+class TestStatements:
+    def test_multi_declarator(self):
+        unit = parse_program("void compute(double x) { double a = 1.0, b = 2.0; }")
+        decl = unit.functions[0].body.stmts[0]
+        assert len(decl.declarators) == 2
+
+    def test_array_decl_sizes(self):
+        unit = parse_program("void compute(double x) { double a[8]; }")
+        decl = unit.functions[0].body.stmts[0]
+        assert decl.declarators[0].array_size == 8
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse_program("void compute(int n) { double a[n]; }")
+
+    def test_compound_assignment(self):
+        unit = parse_program("void compute(double x) { double c = 0.0; c *= x; }")
+        assign = unit.functions[0].body.stmts[1]
+        assert isinstance(assign, ast.Assign) and assign.op == "*="
+
+    def test_if_else_chain(self):
+        unit = parse_program(
+            "void compute(double x) { double c=0.0;"
+            " if (x > 0.0) c = 1.0; else if (x < 0.0) c = 2.0; else c = 3.0; }"
+        )
+        stmt = unit.functions[0].body.stmts[1]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.other.stmts[0], ast.If)
+
+    def test_for_variants(self):
+        unit = parse_program(
+            "void compute(int n) {"
+            " double c = 0.0;"
+            " for (int i = 0; i < n; i++) { c += 1.0; }"
+            " for (int j = 0; j < 4; ++j) { c += 2.0; }"
+            " int k;"
+            " for (k = 0; k < 2; k = k + 1) { c += 3.0; }"
+            "}"
+        )
+        loops = [s for s in unit.functions[0].body.stmts if isinstance(s, ast.For)]
+        assert len(loops) == 3
+        assert isinstance(loops[2].init, ast.Assign)
+
+    def test_while(self):
+        unit = parse_program(
+            "void compute(double x) { double c = x; while (c > 1.0) { c /= 2.0; } }"
+        )
+        assert isinstance(unit.functions[0].body.stmts[1], ast.While)
+
+    def test_nested_blocks(self):
+        unit = parse_program("void compute(double x) { { double y = x; } }")
+        assert isinstance(unit.functions[0].body.stmts[0], ast.Block)
+
+    def test_cuda_launch_syntax(self):
+        unit = parse_program(
+            "void compute(double x) { double c = x; }"
+            "int main() { compute<<<1,1>>>(2.0); return 0; }"
+        )
+        call = unit.function("main").body.stmts[0].expr
+        assert isinstance(call, ast.Call) and call.name == "compute"
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1.0 + 2.0 * 3.0")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_parens_override(self):
+        e = parse_expr("(1.0 + 2.0) * 3.0")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "+"
+
+    def test_left_associative(self):
+        e = parse_expr("1.0 - 2.0 - 3.0")
+        assert e.op == "-" and isinstance(e.left, ast.Binary)
+
+    def test_unary_minus(self):
+        e = parse_expr("-x * 2.0")
+        assert e.op == "*" and isinstance(e.left, ast.Unary)
+
+    def test_ternary(self):
+        e = parse_expr("x > 0.0 ? 1.0 : 2.0")
+        assert isinstance(e, ast.Ternary)
+
+    def test_ternary_right_assoc(self):
+        e = parse_expr("x > 0.0 ? 1.0 : x < 0.0 ? 2.0 : 3.0")
+        assert isinstance(e.other, ast.Ternary)
+
+    def test_call_args(self):
+        e = parse_expr("pow(x, 2.0) + atan2(x, 1.0)")
+        assert e.left.name == "pow" and len(e.left.args) == 2
+
+    def test_cast(self):
+        e = parse_expr("(double)1 / 3.0")
+        assert e.op == "/"
+        assert isinstance(e.left, ast.Cast)
+
+    def test_nested_index(self):
+        unit = parse_program("void compute(double *a) { double c = a[1 + 2]; }")
+        init = unit.functions[0].body.stmts[0].declarators[0].init
+        assert isinstance(init, ast.Index)
+
+    def test_logical_ops(self):
+        e = parse_expr("x > 0.0 && x < 1.0 || x == 2.0")
+        assert e.op == "||"
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void compute(double x) { double c = (x + 1.0; }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void compute(double x) { double c = ; }")
+
+
+class TestWalkers:
+    def test_walk_exprs_counts(self):
+        e = parse_expr("sin(x) + x * 2.0")
+        nodes = list(ast.walk_exprs(e))
+        assert sum(isinstance(n, ast.Ident) for n in nodes) == 2
+        assert sum(isinstance(n, ast.Call) for n in nodes) == 1
+
+    def test_walk_stmts_finds_nested(self):
+        unit = parse_program(PROGRAM)
+        stmts = list(ast.walk_stmts(unit.function("compute").body))
+        assert any(isinstance(s, ast.If) for s in stmts)
+        assert any(isinstance(s, ast.For) for s in stmts)
+
+
+class TestRoundTrip:
+    def test_print_and_reparse(self):
+        from repro.frontend.printer import print_c
+
+        unit = parse_program(PROGRAM)
+        text = print_c(unit)
+        unit2 = parse_program(text)
+        assert print_c(unit2) == text  # printing is a fixed point
+
+    def test_expr_rendering_preserves_tree(self):
+        src = "((a + b) + c) * (d - (e - f))"
+        unit = parse_program(
+            "void compute(double a, double b, double c, double d, double e, double f)"
+            f" {{ double x = {src}; }}"
+        )
+        init = unit.functions[0].body.stmts[0].declarators[0].init
+        text = expr_to_c(init)
+        unit2 = parse_program(
+            "void compute(double a, double b, double c, double d, double e, double f)"
+            f" {{ double x = {text}; }}"
+        )
+        init2 = unit2.functions[0].body.stmts[0].declarators[0].init
+        assert expr_to_c(init2) == text

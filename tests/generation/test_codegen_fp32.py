@@ -1,0 +1,70 @@
+"""FP32 synthesis: float programs must stay in binary32 arithmetic.
+
+Unsuffixed C literals are doubles; mixing them into float expressions
+promotes the arithmetic to double and the final narrowing absorbs sub-ulp
+library divergences (hiding single-precision effects).  The synthesizer
+therefore emits 'f'-suffixed literals in float programs.
+"""
+
+import re
+
+from repro.fp.formats import Precision
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import check_program
+from repro.generation.llm.base import GenerationConfig
+from repro.generation.llm.codegen import ProgramSynthesizer
+from repro.generation.llm.parsing import PromptKind
+from repro.utils.rng import SplittableRng
+
+_FLOAT_LIT = re.compile(r"\d\.\d+(?![0-9fF])")
+
+
+def synth(seed: int, precision: Precision) -> str:
+    s = ProgramSynthesizer(GenerationConfig())
+    source, _ = s.synthesize(
+        SplittableRng(seed), PromptKind.GRAMMAR, precision, []
+    )
+    return source
+
+
+class TestFloatLiterals:
+    def test_float_programs_use_f_suffix(self):
+        # Exactly representable dyadic constants (0.0, 0.5, 1.0, ...) may
+        # stay unsuffixed: promoting through double is lossless for them.
+        exact = {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0}
+        for seed in range(8):
+            source = synth(seed, Precision.SINGLE)
+            compute = source.split("int main")[0]
+            bare = [
+                m.group(0)
+                for m in _FLOAT_LIT.finditer(compute)
+                if float(m.group(0)) not in exact
+            ]
+            assert not bare, (seed, bare, compute)
+
+    def test_double_programs_have_no_f_suffix(self):
+        for seed in range(8):
+            source = synth(seed, Precision.DOUBLE)
+            assert not re.search(r"\d\.\d+f", source), seed
+
+    def test_float_programs_valid(self):
+        for seed in range(8):
+            source = synth(seed, Precision.SINGLE)
+            check_program(parse_program(source))
+
+    def test_float_programs_declare_float(self):
+        source = synth(3, Precision.SINGLE)
+        compute = parse_program(source).function("compute")
+        fp_params = [p for p in compute.params if p.type.base in ("float", "double")]
+        assert fp_params and all(p.type.base == "float" for p in fp_params)
+
+
+class TestRescalePattern:
+    def test_rescale_gain_appears(self):
+        seen = False
+        for seed in range(40):
+            source = synth(seed, Precision.DOUBLE)
+            if re.search(r"comp \*= ", source):
+                seen = True
+                break
+        assert seen, "rescale_gain never sampled in 40 programs"

@@ -1,0 +1,39 @@
+"""Grammar spec and its prompt rendering."""
+
+from repro.fp.formats import Precision
+from repro.generation.grammar import DEFAULT_GRAMMAR, GrammarSpec
+
+
+class TestGrammarSpec:
+    def test_default_is_double(self):
+        assert DEFAULT_GRAMMAR.precision is Precision.DOUBLE
+        assert DEFAULT_GRAMMAR.fp_type == "double"
+
+    def test_single_precision_render(self):
+        g = GrammarSpec(precision=Precision.SINGLE)
+        text = g.render()
+        assert '"float"' in text
+        assert '"double"' not in text
+
+    def test_render_contains_figure2_productions(self):
+        text = DEFAULT_GRAMMAR.render()
+        for fragment in (
+            "<function>",
+            "<param-list>",
+            "<assignment>",
+            '"comp"',
+            "<for-loop-block>",
+            "<if-block>",
+            "<loop-header>",
+        ):
+            assert fragment in text
+
+    def test_operators_rendered(self):
+        text = DEFAULT_GRAMMAR.render()
+        assert '"+" | "-" | "*" | "/"' in text
+
+    def test_functions_cover_math_registry(self):
+        from repro.fp.mathlib import MATH_FUNCTIONS
+
+        for fn in DEFAULT_GRAMMAR.functions:
+            assert fn in MATH_FUNCTIONS

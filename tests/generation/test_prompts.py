@@ -1,0 +1,79 @@
+"""Prompt builders and the SimLLM's prompt parsing."""
+
+from repro.fp.formats import Precision
+from repro.generation.llm.parsing import PromptKind, parse_prompt
+from repro.generation.prompts import (
+    GUIDELINES,
+    MUTATION_STRATEGIES,
+    direct_prompt,
+    grammar_prompt,
+    mutation_prompt,
+)
+
+EXAMPLE = (
+    "#include <stdio.h>\n#include <math.h>\n"
+    "void compute(double x) { double comp = sin(x);"
+    ' printf("%.17g\\n", comp); }\n'
+    "int main(int argc, char **argv) { compute(atof(argv[1])); return 0; }"
+)
+
+
+class TestPromptContents:
+    def test_direct_has_no_grammar(self):
+        p = direct_prompt()
+        assert "grammar" not in p.lower()
+        assert "stdio.h" in p  # guidelines present
+
+    def test_grammar_prompt_embeds_figure2(self):
+        p = grammar_prompt()
+        assert "must follow this grammar" in p
+        assert "<for-loop-block>" in p
+
+    def test_mutation_prompt_embeds_example_and_strategies(self):
+        p = mutation_prompt(EXAMPLE)
+        assert "behaves differently" in p
+        assert EXAMPLE.strip() in p
+        for s in MUTATION_STRATEGIES:
+            assert s in p
+
+    def test_guidelines_cover_paper_rules(self):
+        assert "stdio.h" in GUIDELINES
+        assert "stdlib.h" in GUIDELINES
+        assert "math.h" in GUIDELINES
+        assert "Initialize" in GUIDELINES
+        assert "undefined behavior" in GUIDELINES
+
+    def test_precision_stated(self):
+        assert "double precision" in direct_prompt(Precision.DOUBLE)
+        assert "single precision" in grammar_prompt(Precision.SINGLE)
+
+    def test_plain_code_instruction_last(self):
+        for p in (direct_prompt(), grammar_prompt(), mutation_prompt(EXAMPLE)):
+            assert p.rstrip().endswith("explanation.")
+
+
+class TestPromptParsing:
+    def test_direct_roundtrip(self):
+        req = parse_prompt(direct_prompt())
+        assert req.kind is PromptKind.DIRECT
+        assert req.precision is Precision.DOUBLE
+
+    def test_grammar_roundtrip(self):
+        req = parse_prompt(grammar_prompt())
+        assert req.kind is PromptKind.GRAMMAR
+
+    def test_single_precision_detected(self):
+        req = parse_prompt(grammar_prompt(Precision.SINGLE))
+        assert req.precision is Precision.SINGLE
+
+    def test_mutation_roundtrip(self):
+        req = parse_prompt(mutation_prompt(EXAMPLE))
+        assert req.kind is PromptKind.MUTATION
+        assert req.example is not None
+        assert "compute" in req.example
+        assert len(req.strategies) == len(MUTATION_STRATEGIES)
+
+    def test_prompt_without_grammar_parses_direct(self):
+        # The SimLLM honours the prompt, not the caller's intent.
+        p = direct_prompt().replace("Create a random", "Please create a")
+        assert parse_prompt(p).kind is PromptKind.DIRECT

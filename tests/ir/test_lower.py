@@ -1,0 +1,147 @@
+"""AST -> IR lowering: conversions, renaming, compound ops."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import check_program
+from repro.ir import nodes as ir
+from repro.ir.lower import lower_compute
+
+
+def lower(src):
+    return lower_compute(check_program(parse_program(src)))
+
+
+def lower_body(body, params="double a, double b, int n"):
+    src = (
+        f"void compute({params}) {{ {body} }}"
+        "int main() { compute(1.0, 2.0, 3); return 0; }"
+    )
+    # fix main call arity for differing params
+    n_params = len(params.split(","))
+    args = ", ".join(["1.0"] * n_params)
+    src = (
+        f"void compute({params}) {{ {body} }}"
+        f"int main() {{ compute({args}); return 0; }}"
+    )
+    return lower(src)
+
+
+class TestKernelShape:
+    def test_params(self):
+        k = lower_body("double c = a + b;")
+        assert [p.name for p in k.params] == ["a", "b", "n"]
+        assert k.params[2].ty == "int"
+
+    def test_pointer_param(self):
+        k = lower_body("double c = p[0];", params="double *p")
+        assert k.params[0].is_pointer
+        assert k.params[0].scalar_ty == "double"
+
+    def test_var_types_recorded(self):
+        k = lower_body("double c = a; int i = n;")
+        assert k.var_types["c"] == "double"
+        assert k.var_types["i"] == "int"
+
+
+class TestConversions:
+    def test_int_to_double(self):
+        k = lower_body("double c = a + n;")
+        assign = k.body[0]
+        assert isinstance(assign.value, ir.FBin)
+        assert isinstance(assign.value.right, ir.SiToFp)
+
+    def test_float_literal_narrowing(self):
+        k = lower_body("float f = 0.1f; double c = f + a;")
+        f_assign = k.body[0]
+        assert f_assign.value.ty == "float"
+        c_assign = k.body[1]
+        assert isinstance(c_assign.value.left, ir.FpExt)
+
+    def test_double_to_float_trunc(self):
+        k = lower_body("float f = a;")
+        assert isinstance(k.body[0].value, ir.FpTrunc)
+
+    def test_fp_to_int_cast(self):
+        k = lower_body("int i = (int)a;")
+        assert isinstance(k.body[0].value, ir.FpToSi)
+
+    def test_libm_args_promoted(self):
+        k = lower_body("float f = 1.0f; double c = sin(f);")
+        call = k.body[1].value
+        assert isinstance(call, ir.FCall)
+        assert isinstance(call.args[0], ir.FpExt)
+
+
+class TestCompoundOps:
+    def test_plus_equals(self):
+        k = lower_body("double c = 0.0; c += a;")
+        second = k.body[1]
+        assert isinstance(second.value, ir.FBin) and second.value.op == "+"
+        assert isinstance(second.value.left, ir.Load)
+
+    def test_incdec(self):
+        k = lower_body("int i = 0; i++;")
+        inc = k.body[1]
+        assert isinstance(inc.value, ir.IBin) and inc.value.op == "+"
+
+    def test_array_compound_store(self):
+        k = lower_body("double t[2] = {1.0, 2.0}; t[0] *= a;")
+        store = k.body[1]
+        assert isinstance(store, ir.SStoreElem)
+        assert isinstance(store.value, ir.FBin) and store.value.op == "*"
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        k = lower_body("double c = 0.0; for (int i = 0; i < n; ++i) { c += a; }")
+        loop = k.body[1]
+        assert isinstance(loop, ir.SFor)
+        assert isinstance(loop.cond, ir.Compare) and not loop.cond.fp
+
+    def test_if_else(self):
+        k = lower_body("double c = 0.0; if (a > b) { c = a; } else { c = b; }")
+        st = k.body[1]
+        assert isinstance(st, ir.SIf)
+        assert st.cond.fp
+
+    def test_while(self):
+        k = lower_body("double c = a; while (c > 1.0) { c /= 2.0; }")
+        assert isinstance(k.body[1], ir.SWhile)
+
+    def test_return_lowered(self):
+        k = lower_body("double c = a; return;")
+        assert isinstance(k.body[1], ir.SReturn)
+
+
+class TestShadowRenaming:
+    def test_nested_shadow_gets_unique_name(self):
+        k = lower_body("double x = a; { double x = b; double y = x; }")
+        names = [s.name for s in k.body if isinstance(s, ir.SAssign)]
+        assert "x" in names and "x__2" in names
+        y_assign = [s for s in k.body if isinstance(s, ir.SAssign) and s.name == "y"][0]
+        assert y_assign.value.name == "x__2"
+
+    def test_loop_var_scoped(self):
+        k = lower_body(
+            "double c = 0.0;"
+            " for (int i = 0; i < n; ++i) { c += i; }"
+            " for (int i = 0; i < n; ++i) { c -= i; }"
+        )
+        loops = [s for s in k.body if isinstance(s, ir.SFor)]
+        first = loops[0].init[0].name
+        second = loops[1].init[0].name
+        assert first != second
+
+
+class TestPrintf:
+    def test_print_lowered(self):
+        k = lower_body('double c = a; printf("%.17g\\n", c);')
+        pr = k.body[1]
+        assert isinstance(pr, ir.SPrint)
+        assert pr.fmt == "%.17g\\n"
+        assert len(pr.values) == 1
+
+    def test_ternary_lowered(self):
+        k = lower_body("double c = a > b ? a : b;")
+        assert isinstance(k.body[0].value, ir.Select)

@@ -1,0 +1,152 @@
+"""CodeBLEU and its components."""
+
+import pytest
+
+from repro.metrics.astmatch import ast_match, subtree_signatures
+from repro.metrics.bleu import bleu_score, modified_precision, ngram_counts
+from repro.metrics.codebleu import codebleu
+from repro.metrics.ctokens import c_tokens, normalize_tokens
+from repro.metrics.dataflow import dataflow_edges, dataflow_match
+
+PROG_A = """
+#include <stdio.h>
+void compute(double a, double b) {
+  double comp = a * b + 1.0;
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) { compute(atof(argv[1]), atof(argv[2])); return 0; }
+"""
+
+# PROG_A with only local identifiers renamed (a->x, b->y, comp->result);
+# function names, structure, and literals are untouched.
+PROG_A_RENAMED = """
+#include <stdio.h>
+void compute(double x, double y) {
+  double result = x * y + 1.0;
+  printf("%.17g\\n", result);
+}
+int main(int argc, char **argv) { compute(atof(argv[1]), atof(argv[2])); return 0; }
+"""
+
+PROG_B = """
+#include <stdio.h>
+#include <math.h>
+void compute(double u, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    comp += sin(u + i) / (i + 1.0);
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) { compute(atof(argv[1]), atoi(argv[2])); return 0; }
+"""
+
+
+class TestCTokens:
+    def test_token_stream(self):
+        toks = c_tokens("double x = 1.0;")
+        assert toks == ["double", "x", "=", "1.0", ";"]
+
+    def test_normalize_blind(self):
+        toks = normalize_tokens("double x = y + 1.0;")
+        assert toks == ["double", "ID", "=", "ID", "+", "LIT", ";"]
+
+    def test_normalize_consistent(self):
+        toks = normalize_tokens("double x = x + y;", consistent=True)
+        assert toks == ["double", "ID1", "=", "ID1", "+", "ID2", ";"]
+
+
+class TestBleu:
+    def test_identical_scores_one(self):
+        toks = c_tokens(PROG_A)
+        assert bleu_score(toks, toks) == pytest.approx(1.0, abs=1e-6)
+
+    def test_disjoint_scores_near_zero(self):
+        assert bleu_score(["a", "b", "c", "d"], ["e", "f", "g", "h"]) < 0.01
+
+    def test_ngram_counts(self):
+        counts = ngram_counts(["a", "b", "a", "b"], 2)
+        assert counts[("a", "b")] == 2
+
+    def test_modified_precision_clipping(self):
+        num, den = modified_precision(["a", "a", "a"], ["a"], 1)
+        assert num == 1 and den == 3
+
+    def test_brevity_penalty(self):
+        short = bleu_score(["a", "b"], ["a", "b", "c", "d", "e", "f"])
+        full = bleu_score(["a", "b", "c", "d", "e", "f"], ["a", "b", "c", "d", "e", "f"])
+        assert short < full
+
+    def test_keyword_weighting_changes_score(self):
+        cand = c_tokens("double x = 1.0;")
+        ref = c_tokens("double y = 2.0;")
+        plain = bleu_score(cand, ref)
+        weighted = bleu_score(cand, ref, weights={"double": 5.0})
+        assert weighted != plain
+
+
+class TestAstMatch:
+    def test_identical_full_match(self):
+        assert ast_match(PROG_A, PROG_A) == pytest.approx(1.0)
+
+    def test_renamed_still_full_match(self):
+        # AST shapes anonymize identifiers.
+        assert ast_match(PROG_A, PROG_A_RENAMED) == pytest.approx(1.0)
+
+    def test_different_programs_partial(self):
+        score = ast_match(PROG_A, PROG_B)
+        assert 0.0 < score < 1.0
+
+    def test_unparsable_zero(self):
+        assert ast_match("not C", PROG_A) == 0.0
+
+    def test_signatures_nonempty(self):
+        sigs = subtree_signatures(PROG_A)
+        assert sum(sigs.values()) > 10
+
+
+class TestDataflow:
+    def test_edges_extracted(self):
+        edges = dataflow_edges(PROG_A)
+        assert sum(edges.values()) > 0
+
+    def test_compound_assign_self_edge(self):
+        src = (
+            "void compute(double a) { double c = 0.0; c += a; }"
+            "int main() { compute(1.0); return 0; }"
+        )
+        edges = dataflow_edges(src)
+        # c += a: edge a->c and self edge c->c
+        keys = set(edges)
+        assert any(e[0] == e[1] for e in keys)
+
+    def test_match_identical(self):
+        assert dataflow_match(PROG_A, PROG_A) == pytest.approx(1.0)
+
+    def test_match_renamed(self):
+        assert dataflow_match(PROG_A, PROG_A_RENAMED) == pytest.approx(1.0)
+
+    def test_match_unparsable(self):
+        assert dataflow_match("///", PROG_A) == 0.0
+
+
+class TestCodeBleu:
+    def test_identical_is_one(self):
+        assert codebleu(PROG_A, PROG_A).score == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_range(self):
+        parts = codebleu(PROG_A, PROG_B)
+        assert 0.0 <= parts.score < 1.0
+
+    def test_renamed_scores_high_but_below_identical(self):
+        renamed = codebleu(PROG_A, PROG_A_RENAMED).score
+        different = codebleu(PROG_A, PROG_B).score
+        assert different < renamed <= 1.0
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            codebleu(PROG_A, PROG_B, weights=(0.5, 0.5, 0.5, 0.5))
+
+    def test_component_weighting(self):
+        parts = codebleu(PROG_A, PROG_B, weights=(1.0, 0.0, 0.0, 0.0))
+        assert parts.score == pytest.approx(parts.ngram)

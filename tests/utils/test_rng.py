@@ -1,0 +1,86 @@
+"""Determinism and independence of splittable RNG streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import SplittableRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = SplittableRng(42), SplittableRng(42)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seed_different_stream(self):
+        a, b = SplittableRng(1), SplittableRng(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_split_deterministic(self):
+        a = SplittableRng(7).split("gen")
+        b = SplittableRng(7).split("gen")
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_split_independent_of_parent_consumption(self):
+        a = SplittableRng(7)
+        a.random()  # consume from parent
+        child1 = a.split("x")
+        child2 = SplittableRng(7).split("x")
+        assert child1.random() == child2.random()
+
+    def test_sibling_streams_differ(self):
+        root = SplittableRng(3)
+        assert root.split("a").random() != root.split("b").random()
+
+    def test_nested_labels(self):
+        r = SplittableRng(5).split("outer").split("inner")
+        assert r.label == "root/outer/inner"
+
+
+class TestSampling:
+    def setup_method(self):
+        self.rng = SplittableRng(123)
+
+    def test_randint_bounds(self):
+        for _ in range(200):
+            v = self.rng.randint(3, 7)
+            assert 3 <= v <= 7
+
+    def test_choice(self):
+        seq = ["a", "b", "c"]
+        assert self.rng.choice(seq) in seq
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            self.rng.choice([])
+
+    def test_bernoulli_extremes(self):
+        assert not any(self.rng.bernoulli(0.0) for _ in range(50))
+        assert all(self.rng.bernoulli(1.0) for _ in range(50))
+
+    def test_weighted_index_degenerate(self):
+        assert self.rng.weighted_index([0.0, 5.0, 0.0]) == 1
+
+    def test_weighted_index_bad_weights(self):
+        with pytest.raises(ValueError):
+            self.rng.weighted_index([0.0, 0.0])
+
+    def test_weighted_index_distribution(self):
+        rng = SplittableRng(9)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[rng.weighted_index([1.0, 3.0])] += 1
+        assert counts[1] > counts[0] * 2
+
+    def test_shuffle_permutation(self):
+        items = list(range(20))
+        shuffled = items[:]
+        self.rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_any_seed_works(self, seed):
+        r = SplittableRng(seed)
+        assert 0.0 <= r.random() < 1.0

@@ -1,0 +1,34 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.utils.tables import TextTable
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        t = TextTable(["a", "bb"], title="T")
+        t.add_row([1, 22])
+        out = t.render()
+        assert out.splitlines()[0] == "T"
+        assert "a" in out and "22" in out
+
+    def test_alignment(self):
+        t = TextTable(["col"])
+        t.add_row(["longer-cell"])
+        lines = t.render().splitlines()
+        assert len(lines[1]) == len("longer-cell")  # header padded to width
+
+    def test_wrong_arity_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_str_equals_render(self):
+        t = TextTable(["x"])
+        t.add_row(["v"])
+        assert str(t) == t.render()

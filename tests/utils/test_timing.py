@@ -1,0 +1,60 @@
+"""Stopwatch accounting and hh:mm:ss formatting."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, format_hms
+
+
+class TestFormatHms:
+    def test_zero(self):
+        assert format_hms(0) == "00:00:00"
+
+    def test_paper_style_values(self):
+        assert format_hms(30 * 60 + 42) == "00:30:42"
+        assert format_hms(5 * 3600 + 37 * 60 + 42) == "05:37:42"
+
+    def test_rounding(self):
+        assert format_hms(59.6) == "00:01:00"
+
+    def test_large(self):
+        assert format_hms(100 * 3600) == "100:00:00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_hms(-1)
+
+
+class TestStopwatch:
+    def test_phase_accumulates(self):
+        sw = Stopwatch()
+        with sw.phase("gen"):
+            pass
+        with sw.phase("gen"):
+            pass
+        assert sw.buckets["gen"] >= 0.0
+        assert sw.total == sum(sw.buckets.values())
+
+    def test_charge(self):
+        sw = Stopwatch()
+        sw.charge("llm-latency", 2.5)
+        sw.charge("llm-latency", 1.5)
+        assert sw.buckets["llm-latency"] == 4.0
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().charge("x", -1.0)
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start("a")
+        with pytest.raises(RuntimeError):
+            sw.start("a")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop("never")
+
+    def test_as_hms(self):
+        sw = Stopwatch()
+        sw.charge("x", 61)
+        assert sw.as_hms() == "00:01:01"
