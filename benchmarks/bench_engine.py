@@ -1,0 +1,154 @@
+"""E-ENG: campaign throughput — serial legacy loop vs the staged engine.
+
+Replays one fixed program workload (the substrate benchmark generator)
+through two engine configurations:
+
+* **serial** — ``jobs=1``, compile cache off, run sharing off: the exact
+  cost model of the pre-engine monolithic loop (recompile and re-execute
+  every (compiler, level) cell from scratch).
+* **engine** — ``jobs=4`` with the content-addressed compile cache and
+  identical-binary run sharing on.
+
+Asserted shape: the full engine sustains >= 2x the serial programs/sec on
+this workload, and the two CampaignResults are byte-identical.  The
+speedup is funded by provable deduplication (levels with identical
+pipelines compile once; binaries with content-identical optimized kernel
+and FP environment execute once), never by changing what is computed —
+the thread fan-out itself adds no CPU parallelism under CPython's GIL.
+
+Run standalone for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import CampaignEngine, EngineConfig
+from repro.experiments.approaches import make_generator
+from repro.fp.bits import double_to_hex
+from repro.toolchains import default_compilers
+from repro.utils.rng import SplittableRng
+
+#: enough programs for a stable ratio, small enough for CI
+_BUDGET = 40
+_SEED = 20250916
+
+SERIAL = EngineConfig(jobs=1, compile_cache=False, share_runs=False)
+ENGINE = EngineConfig(jobs=4, compile_cache=True, share_runs=True)
+
+
+class _Replay:
+    """Replays a pre-generated program list (identical for every config)."""
+
+    name = "replay"
+
+    def __init__(self, programs):
+        self._programs = list(programs)
+        self._next = 0
+
+    def generate(self):
+        program = self._programs[self._next]
+        self._next += 1
+        return program
+
+    def notify_success(self, program):
+        pass
+
+
+def _workload(budget: int = _BUDGET):
+    rng = SplittableRng(_SEED, "bench-engine")
+    generator = make_generator("varity", rng)
+    return [generator.generate() for _ in range(budget)]
+
+
+def _run(programs, engine_config):
+    engine = CampaignEngine(
+        default_compilers(),
+        CampaignConfig(budget=len(programs)),
+        engine_config,
+    )
+    t0 = time.perf_counter()
+    result = engine.run(_Replay(programs))
+    seconds = time.perf_counter() - t0
+    return result, seconds
+
+
+def _hex(v):
+    return None if v is None else double_to_hex(v)
+
+
+def _result_key(result):
+    return [
+        (
+            o.index,
+            o.compiled,
+            o.ran,
+            o.signatures,
+            {k: _hex(v) for k, v in o.values.items()},
+            [
+                (c.compiler_a, c.compiler_b, c.level, c.consistent, c.digit_diff)
+                for c in o.comparisons
+            ],
+            o.triggered,
+        )
+        for o in result.outcomes
+    ]
+
+
+def measure(budget: int = _BUDGET) -> dict:
+    programs = _workload(budget)
+    serial_result, serial_s = _run(programs, SERIAL)
+    engine_result, engine_s = _run(programs, ENGINE)
+    return {
+        "budget": budget,
+        "serial_seconds": serial_s,
+        "engine_seconds": engine_s,
+        "serial_throughput": budget / serial_s,
+        "engine_throughput": budget / engine_s,
+        "speedup": serial_s / engine_s,
+        "identical": _result_key(serial_result) == _result_key(engine_result),
+        "run_share_rate": engine_result.run_share_rate,
+        "cache_hit_rate": engine_result.cache_hit_rate,
+        "stage_seconds": engine_result.stage_seconds,
+    }
+
+
+def render(m: dict) -> str:
+    lines = [
+        f"engine throughput (substrate workload, {m['budget']} programs)",
+        f"  serial   (jobs=1, no cache, no sharing): "
+        f"{m['serial_throughput']:7.1f} programs/s",
+        f"  engine   (jobs=4, cache + sharing):      "
+        f"{m['engine_throughput']:7.1f} programs/s",
+        f"  speedup: {m['speedup']:.2f}x   identical results: {m['identical']}",
+        f"  run share rate: {m['run_share_rate'] * 100:.1f}%"
+        f"   cache hit rate: {m['cache_hit_rate'] * 100:.1f}%",
+        "  engine stage seconds:   "
+        + "  ".join(f"{k}={v:.2f}" for k, v in m["stage_seconds"].items()),
+    ]
+    return "\n".join(lines)
+
+
+def bench_engine_throughput(benchmark, out_dir):
+    from conftest import once, save_artifact
+
+    m = once(benchmark, measure)
+    save_artifact(out_dir, "engine_throughput.txt", render(m))
+
+    # Acceptance: >= 2x throughput, byte-identical outputs.
+    assert m["identical"]
+    assert m["speedup"] >= 2.0
+    # the dedup that funds the speedup
+    assert m["run_share_rate"] >= 0.5
+
+
+if __name__ == "__main__":
+    report = measure()
+    print(render(report))
+    if not report["identical"]:
+        raise SystemExit("FAIL: serial and engine results differ")
+    if report["speedup"] < 2.0:
+        raise SystemExit(f"FAIL: speedup {report['speedup']:.2f}x < 2x")

@@ -15,6 +15,7 @@ paper-vs-measured record.
 """
 
 from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import CampaignEngine, EngineConfig
 from repro.difftest.harness import DifferentialHarness, run_campaign
 from repro.difftest.report import CampaignReport
 from repro.experiments.approaches import APPROACHES, make_generator
@@ -28,6 +29,8 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "CampaignConfig",
+    "CampaignEngine",
+    "EngineConfig",
     "DifferentialHarness",
     "run_campaign",
     "CampaignReport",

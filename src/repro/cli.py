@@ -11,7 +11,9 @@ import argparse
 import sys
 
 from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import EngineConfig
 from repro.difftest.harness import run_campaign
+from repro.difftest.record import ProgramOutcome
 from repro.difftest.report import CampaignReport
 from repro.experiments import table2, table3, table4, table5, figure3
 from repro.experiments.approaches import APPROACHES, make_generator
@@ -32,20 +34,62 @@ _TABLES = {
 }
 
 
+class _StreamProgress:
+    """Streams per-program campaign state to stderr as the engine runs.
+
+    One carriage-returned status line per program — running counts of
+    triggering programs and inconsistent comparisons — so long campaigns
+    are observable without touching the result plumbing.
+    """
+
+    def __init__(self, budget: int, stream=None) -> None:
+        self.budget = budget
+        self.stream = stream if stream is not None else sys.stderr
+        self.triggered = 0
+        self.inconsistencies = 0
+
+    def __call__(self, index: int, outcome: ProgramOutcome) -> None:
+        self.triggered += bool(outcome.triggered)
+        self.inconsistencies += len(outcome.inconsistent_comparisons)
+        width = len(str(self.budget))
+        self.stream.write(
+            f"\r[{index + 1:>{width}}/{self.budget}] "
+            f"triggering {self.triggered} · inconsistencies {self.inconsistencies}"
+        )
+        self.stream.flush()
+
+    def finish(self) -> None:
+        self.stream.write("\n")
+        self.stream.flush()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     rng = SplittableRng(args.seed, f"cli-{args.approach}")
     generator = make_generator(args.approach, rng)
     config = CampaignConfig(budget=args.budget, seed=args.seed)
-    result = run_campaign(generator, default_compilers(), config)
+    engine_config = EngineConfig(jobs=args.jobs, compile_cache=not args.no_cache)
+    progress = None if args.quiet else _StreamProgress(args.budget)
+    result = run_campaign(
+        generator,
+        default_compilers(),
+        config,
+        progress=progress,
+        engine_config=engine_config,
+    )
+    if progress is not None:
+        progress.finish()
     report = CampaignReport(result)
     s = report.summary()
     print(f"approach:             {s['approach']}")
     print(f"programs:             {args.budget}")
+    print(f"jobs:                 {args.jobs}")
+    print(f"compile cache:        {'off' if args.no_cache else 'on'}")
     print(f"total comparisons:    {s['total_comparisons']:,}")
     print(f"inconsistencies:      {s['inconsistencies']:,}")
     print(f"inconsistency rate:   {s['inconsistency_rate'] * 100:.2f}%")
     print(f"triggering programs:  {s['triggering_programs']}")
     print(f"time cost:            {format_hms(s['time_seconds'])}")
+    print(report.render_stages())
     kinds = report.kind_counts().as_labels()
     if kinds:
         print("kinds:")
@@ -55,7 +99,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
-    settings = ExperimentSettings(budget=args.budget, seed=args.seed)
+    settings = ExperimentSettings(
+        budget=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        compile_cache=not args.no_cache,
+    )
     ctx = ExperimentContext(settings)
     names = args.names or list(_TABLES)
     for name in names:
@@ -92,12 +141,34 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--approach", choices=APPROACHES, default="llm4fp")
     p_run.add_argument("--budget", type=int, default=100)
     p_run.add_argument("--seed", type=int, default=20250916)
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker threads for the compile+execute matrix (default 1; "
+        "throughput gains come from caching/run sharing, not the GIL-bound threads)",
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed compile cache",
+    )
+    p_run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the streaming per-program progress line",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_tab = sub.add_parser("tables", help="regenerate paper tables/figures")
     p_tab.add_argument("names", nargs="*", help=f"subset of {list(_TABLES)}")
     p_tab.add_argument("--budget", type=int, default=200)
     p_tab.add_argument("--seed", type=int, default=20250916)
+    p_tab.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker threads for the compile+execute matrix (default 1; "
+        "throughput gains come from caching/run sharing, not the GIL-bound threads)",
+    )
+    p_tab.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed compile cache",
+    )
     p_tab.set_defaults(func=_cmd_tables)
 
     p_show = sub.add_parser("show-prompt", help="print one of the paper's prompts")

@@ -13,6 +13,14 @@ from repro.difftest.record import (
     ProgramOutcome,
     CampaignResult,
 )
+from repro.difftest.engine import (
+    CampaignEngine,
+    CompileRecord,
+    EngineConfig,
+    ExecuteRecord,
+    FrontendRecord,
+    STAGES,
+)
 from repro.difftest.harness import DifferentialHarness, run_campaign
 from repro.difftest.report import CampaignReport
 
@@ -25,6 +33,12 @@ __all__ = [
     "ComparisonRecord",
     "ProgramOutcome",
     "CampaignResult",
+    "CampaignEngine",
+    "EngineConfig",
+    "FrontendRecord",
+    "CompileRecord",
+    "ExecuteRecord",
+    "STAGES",
     "DifferentialHarness",
     "run_campaign",
     "CampaignReport",

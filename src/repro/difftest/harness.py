@@ -1,164 +1,49 @@
-"""The differential-testing campaign loop (paper Figure 1).
+"""Compatibility facade over the staged campaign engine.
 
-For each generated program: compile with every (compiler, level) — host
-compilers take the C source, the device compiler takes the CUDA translation
-— run every binary on the program's input vector, compare outputs bitwise
-for every compiler pair at each level, classify inconsistencies, and feed
-triggering programs back to the generator's successful set.
+Historically this module held the monolithic campaign loop; the stages now
+live in :mod:`repro.difftest.engine`.  :class:`DifferentialHarness` and
+:func:`run_campaign` keep their original signatures and produce
+byte-identical results, so every table/figure reproduces unchanged —
+they are thin shims that construct a
+:class:`~repro.difftest.engine.CampaignEngine` and delegate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from itertools import combinations
-
-from repro.difftest.compare import digit_difference
 from repro.difftest.config import CampaignConfig
-from repro.difftest.record import CampaignResult, ComparisonRecord, ProgramOutcome
-from repro.errors import CompileError, ReproError
-from repro.execution.result import ExecutionResult
-from repro.frontend.parser import parse_program
-from repro.frontend.sema import check_program
-from repro.fp.bits import hex_to_double
+from repro.difftest.engine import CampaignEngine, EngineConfig
+from repro.difftest.record import CampaignResult, ProgramOutcome
 from repro.generation.program import GeneratedProgram, ProgramGenerator
-from repro.ir.lower import lower_compute
-from repro.toolchains.base import Binary, Compiler, CompilerKind
-from repro.toolchains.cuda import translate_to_cuda
-from repro.utils.timing import Stopwatch
+from repro.toolchains.base import Compiler
 
 __all__ = ["DifferentialHarness", "run_campaign"]
 
 
-@dataclass
-class _BinaryRun:
-    """Signature + final value of one (compiler, level) execution."""
-
-    signature: str | None
-    value: float | None
-    printed: tuple[float, ...] = ()
-
-
 class DifferentialHarness:
-    """Compiles, runs and compares one program across all configurations."""
+    """Compiles, runs and compares one program across all configurations.
 
-    def __init__(self, compilers: list[Compiler], config: CampaignConfig) -> None:
-        if len(compilers) < 2:
-            raise ValueError("differential testing needs at least two compilers")
-        names = [c.name for c in compilers]
-        if len(set(names)) != len(names):
-            raise ValueError("compiler names must be unique")
-        self.compilers = compilers
-        self.config = config
+    A facade over :class:`~repro.difftest.engine.CampaignEngine` for
+    callers that test programs one at a time (triage scripts, examples).
+    Raises :class:`ValueError` naming the offending compilers when the
+    matrix is degenerate (fewer than two compilers, duplicate names).
+    """
 
-    # -- one program -----------------------------------------------------------
+    def __init__(
+        self,
+        compilers: list[Compiler],
+        config: CampaignConfig,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        self._engine = CampaignEngine(compilers, config, engine_config)
+        self.compilers = self._engine.compilers
+        self.config = self._engine.config
+
+    @property
+    def engine(self) -> CampaignEngine:
+        return self._engine
 
     def test_program(self, index: int, program: GeneratedProgram) -> ProgramOutcome:
-        outcome = ProgramOutcome(index=index, program=program)
-        runs = self._compile_and_run_all(program, outcome)
-        self._compare_all(index, runs, outcome)
-        outcome.triggered = any(not c.consistent for c in outcome.comparisons)
-        return outcome
-
-    def _compile_and_run_all(
-        self, program: GeneratedProgram, outcome: ProgramOutcome
-    ) -> dict[tuple[str, object], _BinaryRun]:
-        runs: dict[tuple[str, object], _BinaryRun] = {}
-        kernels = self._frontend(program.source)
-        for compiler in self.compilers:
-            kernel = kernels.get(compiler.kind)
-            for level in self.config.levels:
-                key = (compiler.name, level)
-                label = f"{compiler.name}/{level}"
-                if kernel is None:
-                    outcome.compiled[label] = False
-                    continue
-                try:
-                    binary = compiler.compile_kernel(kernel, level)
-                except CompileError:
-                    outcome.compiled[label] = False
-                    continue
-                outcome.compiled[label] = True
-                result = binary.run(program.inputs, self.config.max_steps)
-                outcome.ran[label] = result.ok
-                if result.ok:
-                    sig = result.signature()
-                    runs[key] = _BinaryRun(sig, result.value, result.printed)
-                    if sig is not None:
-                        outcome.signatures[label] = sig
-                        outcome.values[label] = result.value
-        return runs
-
-    def _frontend(self, source: str):
-        """Front-end the program once per target kind.
-
-        Host compilers share the C parse; the device compiler receives the
-        CUDA translation (§2.4).  A front-end failure for a kind means all
-        its compilations fail (recorded per-binary by the caller).
-        """
-        kernels: dict[CompilerKind, object] = {}
-        try:
-            unit = parse_program(source)
-            sema = check_program(unit)
-            kernels[CompilerKind.HOST] = lower_compute(sema)
-        except ReproError:
-            return kernels
-        try:
-            cuda_unit = translate_to_cuda(unit)
-            cuda_sema = check_program(cuda_unit)
-            kernels[CompilerKind.DEVICE] = lower_compute(cuda_sema)
-        except ReproError:
-            pass
-        return kernels
-
-    # -- comparisons ---------------------------------------------------------------
-
-    def _compare_all(
-        self,
-        index: int,
-        runs: dict[tuple[str, object], _BinaryRun],
-        outcome: ProgramOutcome,
-    ) -> None:
-        for level in self.config.levels:
-            for ca, cb in combinations(self.compilers, 2):
-                ra = runs.get((ca.name, level))
-                rb = runs.get((cb.name, level))
-                if ra is None or rb is None or ra.signature is None or rb.signature is None:
-                    continue  # not comparable; still in the denominator
-                consistent = ra.signature == rb.signature
-                if consistent:
-                    outcome.comparisons.append(
-                        ComparisonRecord(index, ca.name, cb.name, level, True)
-                    )
-                    continue
-                va, vb = _differing_values(ra, rb)
-                outcome.comparisons.append(
-                    ComparisonRecord(
-                        index,
-                        ca.name,
-                        cb.name,
-                        level,
-                        False,
-                        value_a=va,
-                        value_b=vb,
-                        digit_diff=_diffing_digits(va, vb),
-                    )
-                )
-
-
-def _differing_values(ra: _BinaryRun, rb: _BinaryRun) -> tuple[float, float]:
-    """The first printed pair whose encodings differ (fallback: finals)."""
-    from repro.execution.result import _value_hex
-
-    for a, b in zip(ra.printed, rb.printed):
-        if _value_hex(a) != _value_hex(b):
-            return a, b
-    return ra.value, rb.value  # different print counts: compare finals
-
-
-def _diffing_digits(a: float, b: float) -> int:
-    from repro.execution.result import _value_hex
-
-    return digit_difference(_value_hex(a), _value_hex(b))
+        return self._engine.test_program(index, program)
 
 
 def run_campaign(
@@ -166,36 +51,18 @@ def run_campaign(
     compilers: list[Compiler],
     config: CampaignConfig | None = None,
     progress: object = None,
+    engine_config: EngineConfig | None = None,
 ) -> CampaignResult:
     """Run one approach's full campaign (Figure 1's outer loop).
 
     ``progress``, if given, is called as ``progress(i, outcome)`` after each
-    program.  Returns the aggregate :class:`CampaignResult` with time cost
-    split into generation / compile+execute buckets, plus simulated LLM
-    latency when the generator's client models it.
+    program.  ``engine_config`` selects worker count and caching
+    (:class:`~repro.difftest.engine.EngineConfig`); the default is a
+    single-worker engine with the compile cache on, which matches the
+    legacy serial loop bit-for-bit while skipping redundant recompiles.
+    Returns the aggregate :class:`CampaignResult` with time cost split
+    into per-stage buckets, plus simulated LLM latency when the
+    generator's client models it.
     """
-    config = config or CampaignConfig()
-    harness = DifferentialHarness(compilers, config)
-    result = CampaignResult(
-        approach=getattr(generator, "name", type(generator).__name__),
-        budget=config.budget,
-        levels=config.levels,
-        compilers=tuple(c.name for c in compilers),
-    )
-    sw = Stopwatch()
-    for i in range(config.budget):
-        with sw.phase("generate"):
-            program = generator.generate()
-        with sw.phase("test"):
-            outcome = harness.test_program(i, program)
-        if outcome.triggered:
-            generator.notify_success(program)
-        result.outcomes.append(outcome)
-        if progress is not None:
-            progress(i, outcome)
-    result.generation_seconds = sw.buckets.get("generate", 0.0)
-    result.execute_seconds = sw.buckets.get("test", 0.0)
-    llm = getattr(generator, "llm", None)
-    if llm is not None:
-        result.llm_latency_seconds = getattr(llm, "simulated_latency_seconds", 0.0)
-    return result
+    engine = CampaignEngine(compilers, config, engine_config)
+    return engine.run(generator, progress=progress)

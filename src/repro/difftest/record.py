@@ -59,7 +59,13 @@ class ProgramOutcome:
 
 @dataclass
 class CampaignResult:
-    """Aggregate of one approach's full campaign."""
+    """Aggregate of one approach's full campaign.
+
+    Time cost is attributed to the engine's five stages (generate /
+    frontend / compile / execute / compare) plus simulated LLM latency;
+    the cache and run-sharing counters record how much of the compile+
+    execute matrix was deduplicated rather than recomputed.
+    """
 
     approach: str
     budget: int
@@ -67,9 +73,17 @@ class CampaignResult:
     compilers: tuple[str, ...]
     outcomes: list[ProgramOutcome] = field(default_factory=list)
     generation_seconds: float = 0.0
+    frontend_seconds: float = 0.0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
+    compare_seconds: float = 0.0
     llm_latency_seconds: float = 0.0
+    #: content-addressed compile-cache counters (0 when the cache is off)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: executions served by an identical binary's run / total executions
+    shared_runs: int = 0
+    total_runs: int = 0
 
     @property
     def comparisons(self) -> list[ComparisonRecord]:
@@ -100,10 +114,32 @@ class CampaignResult:
         return [o.program.source for o in self.outcomes]
 
     @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Wall-clock per engine stage, in pipeline order."""
+        return {
+            "generate": self.generation_seconds,
+            "frontend": self.frontend_seconds,
+            "compile": self.compile_seconds,
+            "execute": self.execute_seconds,
+            "compare": self.compare_seconds,
+        }
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def run_share_rate(self) -> float:
+        return self.shared_runs / self.total_runs if self.total_runs else 0.0
+
+    @property
     def total_seconds(self) -> float:
         return (
             self.generation_seconds
+            + self.frontend_seconds
             + self.compile_seconds
             + self.execute_seconds
+            + self.compare_seconds
             + self.llm_latency_seconds
         )

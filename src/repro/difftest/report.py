@@ -78,7 +78,51 @@ class CampaignReport:
             "triggering_programs": r.triggering_programs,
             "time_cost": format_hms(r.total_seconds),
             "time_seconds": r.total_seconds,
+            "stage_seconds": r.stage_seconds,
+            "cache_hit_rate": r.cache_hit_rate,
+            "run_share_rate": r.run_share_rate,
         }
+
+    # -- engine cost attribution -------------------------------------------------
+
+    def stage_summary(self) -> dict:
+        """Per-stage wall clock plus dedup counters (the engine's five
+        buckets, replacing the old generate/test split)."""
+        r = self.result
+        return {
+            "stage_seconds": r.stage_seconds,
+            "llm_latency_seconds": r.llm_latency_seconds,
+            "total_seconds": r.total_seconds,
+            "cache_hits": r.cache_hits,
+            "cache_misses": r.cache_misses,
+            "cache_hit_rate": r.cache_hit_rate,
+            "shared_runs": r.shared_runs,
+            "total_runs": r.total_runs,
+            "run_share_rate": r.run_share_rate,
+        }
+
+    def render_stages(self) -> str:
+        """Human-readable stage/time breakdown for CLI summaries."""
+        r = self.result
+        lines = ["stage breakdown:"]
+        for stage, seconds in r.stage_seconds.items():
+            lines.append(f"  {stage:<10} {format_hms(seconds)}  ({seconds:8.2f}s)")
+        if r.llm_latency_seconds:
+            lines.append(
+                f"  {'llm':<10} {format_hms(r.llm_latency_seconds)}"
+                f"  ({r.llm_latency_seconds:8.2f}s)"
+            )
+        if r.cache_hits or r.cache_misses:
+            lines.append(
+                f"  compile cache: {r.cache_hits}/{r.cache_hits + r.cache_misses}"
+                f" hits ({r.cache_hit_rate * 100:.1f}%)"
+            )
+        if r.total_runs:
+            lines.append(
+                f"  shared runs:   {r.shared_runs}/{r.total_runs}"
+                f" ({r.run_share_rate * 100:.1f}%)"
+            )
+        return "\n".join(lines)
 
     # -- Figure 3 -------------------------------------------------------------------
 

@@ -3,5 +3,12 @@
 from repro.execution.interp import Interpreter
 from repro.execution.result import ExecutionResult, ExecStatus
 from repro.execution.limits import DEFAULT_MAX_STEPS
+from repro.execution.worker import run_kernel
 
-__all__ = ["Interpreter", "ExecutionResult", "ExecStatus", "DEFAULT_MAX_STEPS"]
+__all__ = [
+    "Interpreter",
+    "ExecutionResult",
+    "ExecStatus",
+    "DEFAULT_MAX_STEPS",
+    "run_kernel",
+]

@@ -4,6 +4,7 @@ reuse it across every table/figure that consumes it."""
 from __future__ import annotations
 
 from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import EngineConfig
 from repro.difftest.harness import run_campaign
 from repro.difftest.record import CampaignResult
 from repro.difftest.report import CampaignReport
@@ -22,6 +23,14 @@ class ExperimentContext:
         self.settings = settings or ExperimentSettings()
         self._results: dict[str, CampaignResult] = {}
 
+    def engine_config(self) -> EngineConfig:
+        s = self.settings
+        return EngineConfig(
+            jobs=s.jobs,
+            compile_cache=s.compile_cache,
+            cache_capacity=s.cache_capacity,
+        )
+
     def campaign(self, approach: str) -> CampaignResult:
         if approach not in self._results:
             s = self.settings
@@ -31,7 +40,10 @@ class ExperimentContext:
             )
             config = CampaignConfig(budget=s.budget, levels=s.levels, seed=s.seed)
             self._results[approach] = run_campaign(
-                generator, default_compilers(), config
+                generator,
+                default_compilers(),
+                config,
+                engine_config=self.engine_config(),
             )
         return self._results[approach]
 

@@ -41,7 +41,21 @@ class ExperimentSettings:
     codebleu_pairs: int = field(
         default_factory=lambda: _env_int("REPRO_CODEBLEU_PAIRS", 1500)
     )
+    #: campaign-engine workers for the per-program compile+execute matrix
+    jobs: int = field(default_factory=lambda: _env_int("REPRO_JOBS", 1))
+    #: content-addressed compile cache (``REPRO_CACHE=0`` disables)
+    compile_cache: bool = field(
+        default_factory=lambda: _env_int("REPRO_CACHE", 1) != 0
+    )
+    #: LRU bound of the compile cache, in binaries
+    cache_capacity: int = field(
+        default_factory=lambda: _env_int("REPRO_CACHE_CAPACITY", 4096)
+    )
 
     def __post_init__(self) -> None:
         if self.budget <= 0:
             raise ValueError("budget must be positive")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")

@@ -50,7 +50,10 @@ def offset_by_ulps(x: float, n: int) -> float:
     """
     if math.isnan(x):
         raise ValueError("cannot offset a NaN by ulps")
-    if math.isinf(x):
+    if math.isinf(x) or n == 0:
+        # n == 0 must be exact identity: the ordered key conflates the
+        # signed zeros, so walking 0 steps through it would turn -0.0
+        # into +0.0 — a 1-ulp move by this module's own metric.
         return x
     key = _ordered_key(x) + n
     limit = double_to_bits(math.inf)

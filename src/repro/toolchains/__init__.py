@@ -7,6 +7,12 @@ paper's setup: ``gcc`` 9.4 and ``clang`` 12.0 as host compilers, ``nvcc``
 """
 
 from repro.toolchains.base import Binary, Compiler, CompilerKind
+from repro.toolchains.cache import (
+    CacheStats,
+    CompileCache,
+    env_fingerprint,
+    kernel_fingerprint,
+)
 from repro.toolchains.optlevels import OptLevel, ALL_LEVELS, flags_for
 from repro.toolchains.gcc import GccCompiler
 from repro.toolchains.clang import ClangCompiler
@@ -15,8 +21,12 @@ from repro.toolchains.system import SystemGcc, system_gcc_available
 
 __all__ = [
     "Binary",
+    "CacheStats",
     "Compiler",
+    "CompileCache",
     "CompilerKind",
+    "env_fingerprint",
+    "kernel_fingerprint",
     "OptLevel",
     "ALL_LEVELS",
     "flags_for",

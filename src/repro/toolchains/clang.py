@@ -54,6 +54,15 @@ class ClangCompiler(Compiler):
             ]
         )
 
+    def cache_token(self, level: OptLevel) -> str:
+        # Mirrors :meth:`pipeline`: front-end folding at O0/O0_nofma,
+        # propagating folding at O1..O3, the fast-math pipeline on top.
+        if level in (OptLevel.O0_NOFMA, OptLevel.O0):
+            return "O0"
+        if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
+            return "O1-O3"
+        return "O3_fastmath"
+
     def environment(self, level: OptLevel) -> FPEnvironment:
         if level is OptLevel.O3_FASTMATH:
             return FPEnvironment(libm=FastHostLibm())

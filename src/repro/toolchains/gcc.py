@@ -53,6 +53,15 @@ class GccCompiler(Compiler):
             ]
         )
 
+    def cache_token(self, level: OptLevel) -> str:
+        # Three (pipeline, environment) classes: no passes at O0/O0_nofma,
+        # literal constant folding at O1..O3 (all + glibc), fast-math.
+        if level in (OptLevel.O0_NOFMA, OptLevel.O0):
+            return "O0"
+        if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
+            return "O1-O3"
+        return "O3_fastmath"
+
     def environment(self, level: OptLevel) -> FPEnvironment:
         if level is OptLevel.O3_FASTMATH:
             return FPEnvironment(libm=FastHostLibm())

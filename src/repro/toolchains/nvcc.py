@@ -55,6 +55,21 @@ class NvccCompiler(Compiler):
             return PassPipeline()
         return PassPipeline([FmaContract(site_prob=self.fmad_prob)])
 
+    def cache_token(self, level: OptLevel) -> str:
+        # One FmaContract pipeline everywhere except O0_nofma; fast math
+        # changes the environment only for single-precision kernels.  The
+        # token carries the instance knobs because cache keys include only
+        # the family name, and two NvccCompiler instances may differ.
+        cfg = f"{self.precision.value},fmad={self.fmad_prob}"
+        if level is OptLevel.O0_NOFMA:
+            return f"O0_nofma[{cfg}]"
+        fast32 = (
+            level is OptLevel.O3_FASTMATH and self.precision is Precision.SINGLE
+        )
+        if fast32:
+            return f"fast32[{cfg}]"
+        return f"fmad[{cfg}]"
+
     def environment(self, level: OptLevel) -> FPEnvironment:
         fast32 = (
             level is OptLevel.O3_FASTMATH and self.precision is Precision.SINGLE

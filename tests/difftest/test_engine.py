@@ -1,0 +1,325 @@
+"""The staged campaign engine: determinism, caching, sharing, stages."""
+
+import pytest
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import (
+    CampaignEngine,
+    EngineConfig,
+    _BinaryRun,
+    _differing_values,
+    _diffing_digits,
+)
+from repro.difftest.harness import DifferentialHarness, run_campaign
+from repro.experiments.approaches import make_generator
+from repro.fp.bits import double_to_hex
+from repro.generation.program import GeneratedProgram
+from repro.toolchains import (
+    ClangCompiler,
+    CompileCache,
+    GccCompiler,
+    NvccCompiler,
+    kernel_fingerprint,
+)
+from repro.utils.rng import SplittableRng
+
+TRANSCENDENTAL = """
+#include <stdio.h>
+#include <math.h>
+void compute(double a, double b, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    comp += sin(a + i) * b;
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) {
+  compute(atof(argv[1]), atof(argv[2]), atoi(argv[3]));
+  return 0;
+}
+"""
+
+
+def _hex(v):
+    return None if v is None else double_to_hex(v)
+
+
+def result_key(result):
+    """Everything observable in a CampaignResult, NaN-safe (bitwise)."""
+    return [
+        (
+            o.index,
+            o.program.source,
+            o.compiled,
+            o.ran,
+            o.signatures,
+            {k: _hex(v) for k, v in o.values.items()},
+            [
+                (
+                    c.program_index,
+                    c.compiler_a,
+                    c.compiler_b,
+                    c.level,
+                    c.consistent,
+                    _hex(c.value_a),
+                    _hex(c.value_b),
+                    c.digit_diff,
+                )
+                for c in o.comparisons
+            ],
+            o.triggered,
+        )
+        for o in result.outcomes
+    ]
+
+
+def run_with(engine_config, approach="varity", budget=8, seed=123):
+    rng = SplittableRng(seed, f"engine-{approach}")
+    generator = make_generator(approach, rng)
+    compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
+    engine = CampaignEngine(
+        compilers, CampaignConfig(budget=budget), engine_config
+    )
+    return engine.run(generator)
+
+
+class TestDeterminism:
+    """The acceptance property: results are byte-identical across job
+    counts and cache configurations; only timings may differ."""
+
+    def test_jobs_1_vs_4_identical(self):
+        serial = run_with(EngineConfig(jobs=1))
+        parallel = run_with(EngineConfig(jobs=4))
+        assert result_key(serial) == result_key(parallel)
+
+    def test_cache_on_off_identical(self):
+        cold = run_with(EngineConfig(jobs=1, compile_cache=False))
+        cached = run_with(EngineConfig(jobs=1, compile_cache=True))
+        assert result_key(cold) == result_key(cached)
+
+    def test_sharing_on_off_identical(self):
+        legacy = run_with(
+            EngineConfig(jobs=1, compile_cache=False, share_runs=False)
+        )
+        shared = run_with(EngineConfig(jobs=1, compile_cache=True, share_runs=True))
+        assert result_key(legacy) == result_key(shared)
+
+    def test_parallel_all_knobs_identical_to_legacy(self):
+        legacy = run_with(
+            EngineConfig(jobs=1, compile_cache=False, share_runs=False)
+        )
+        full = run_with(EngineConfig(jobs=4, compile_cache=True, share_runs=True))
+        assert result_key(legacy) == result_key(full)
+
+    def test_shim_matches_engine(self):
+        rng = SplittableRng(123, "engine-varity")
+        generator = make_generator("varity", rng)
+        compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
+        shimmed = run_campaign(generator, compilers, CampaignConfig(budget=8))
+        assert result_key(shimmed) == result_key(run_with(EngineConfig()))
+
+
+class _Repeat:
+    """Generator stub: the same program every time (cache torture test)."""
+
+    name = "repeat"
+
+    def __init__(self, program):
+        self.program = program
+
+    def generate(self):
+        return self.program
+
+    def notify_success(self, program):
+        pass
+
+
+class TestCompileCache:
+    def test_repeated_kernel_hits_cache(self):
+        program = GeneratedProgram(source=TRANSCENDENTAL, inputs=(0.37, 1.91, 5))
+        compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
+        engine = CampaignEngine(
+            compilers, CampaignConfig(budget=4), EngineConfig(jobs=1)
+        )
+        result = engine.run(_Repeat(program))
+        # 8 distinct (compiler, level-class) units per program; programs
+        # 2..4 are pure cache hits.
+        assert result.cache_misses == 8
+        assert result.cache_hits == 24
+        assert result.cache_hit_rate == pytest.approx(0.75)
+
+    def test_cache_disabled_records_no_lookups(self):
+        result = run_with(EngineConfig(jobs=1, compile_cache=False), budget=2)
+        assert result.cache_hits == 0 and result.cache_misses == 0
+
+    def test_reused_engine_reports_per_run_counters(self):
+        # A second run on the same engine (warm cache) must report that
+        # run's own deltas, not lifetime totals.
+        program = GeneratedProgram(source=TRANSCENDENTAL, inputs=(0.37, 1.91, 5))
+        compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
+        engine = CampaignEngine(
+            compilers, CampaignConfig(budget=2), EngineConfig(jobs=1)
+        )
+        first = engine.run(_Repeat(program))
+        second = engine.run(_Repeat(program))
+        assert first.total_runs == second.total_runs == 2 * 18
+        assert second.cache_misses == 0  # fully warm
+        assert second.cache_hits == 16  # 8 units x 2 programs
+        assert first.cache_misses == 8 and first.cache_hits == 8
+
+    def test_lru_eviction_bounds_size(self):
+        cache = CompileCache(capacity=2)
+        gcc = GccCompiler()
+        from repro.frontend.parser import parse_program
+        from repro.frontend.sema import check_program
+        from repro.ir.lower import lower_compute
+        from repro.toolchains import OptLevel
+
+        kernel = lower_compute(check_program(parse_program(TRANSCENDENTAL)))
+        fp = kernel_fingerprint(kernel)
+        for token in ("a", "b", "c"):
+            gcc.compile_kernel_cached(kernel, OptLevel.O0, cache, fp, token)
+        assert len(cache) == 2
+
+    def test_fingerprint_distinguishes_signed_zero(self):
+        from repro.frontend.parser import parse_program
+        from repro.frontend.sema import check_program
+        from repro.ir.lower import lower_compute
+
+        plus = lower_compute(
+            check_program(
+                parse_program(
+                    "#include <stdio.h>\nvoid compute(double a) {"
+                    ' double comp = a + 0.0; printf("%.17g\\n", comp); }\n'
+                    "int main(int argc, char **argv) {"
+                    " compute(atof(argv[1])); return 0; }"
+                )
+            )
+        )
+        minus = lower_compute(
+            check_program(
+                parse_program(
+                    "#include <stdio.h>\nvoid compute(double a) {"
+                    ' double comp = a + -0.0; printf("%.17g\\n", comp); }\n'
+                    "int main(int argc, char **argv) {"
+                    " compute(atof(argv[1])); return 0; }"
+                )
+            )
+        )
+        assert kernel_fingerprint(plus) != kernel_fingerprint(minus)
+
+
+class TestRunSharing:
+    def test_matrix_dedup_counts(self):
+        program = GeneratedProgram(source=TRANSCENDENTAL, inputs=(0.37, 1.91, 5))
+        compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
+        engine = CampaignEngine(
+            compilers, CampaignConfig(budget=1), EngineConfig(jobs=1)
+        )
+        result = engine.run(_Repeat(program))
+        assert result.total_runs == 18
+        # at minimum the within-compiler level classes collapse 18 -> <= 8
+        assert result.shared_runs >= 10
+        assert result.run_share_rate >= 10 / 18
+
+    def test_sharing_disabled_runs_everything(self):
+        program = GeneratedProgram(source=TRANSCENDENTAL, inputs=(0.37, 1.91, 5))
+        compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
+        engine = CampaignEngine(
+            compilers,
+            CampaignConfig(budget=1),
+            EngineConfig(jobs=1, compile_cache=False, share_runs=False),
+        )
+        result = engine.run(_Repeat(program))
+        assert result.total_runs == 18 and result.shared_runs == 0
+
+
+class TestStageAccounting:
+    def test_stage_buckets_cover_total(self):
+        result = run_with(EngineConfig(jobs=1), budget=3)
+        stages = result.stage_seconds
+        assert set(stages) == {"generate", "frontend", "compile", "execute", "compare"}
+        assert all(v >= 0.0 for v in stages.values())
+        assert result.total_seconds == pytest.approx(
+            sum(stages.values()) + result.llm_latency_seconds
+        )
+
+    def test_report_exposes_stage_summary(self):
+        from repro.difftest.report import CampaignReport
+
+        result = run_with(EngineConfig(jobs=1), budget=2)
+        report = CampaignReport(result)
+        summary = report.stage_summary()
+        assert summary["total_runs"] == 2 * 18
+        rendered = report.render_stages()
+        assert "compile" in rendered and "execute" in rendered
+
+
+class TestValidation:
+    def test_single_compiler_message_names_it(self):
+        with pytest.raises(ValueError, match=r"got 1 \(gcc\)"):
+            CampaignEngine([GccCompiler()], CampaignConfig(budget=1))
+
+    def test_duplicate_names_listed(self):
+        with pytest.raises(ValueError, match="duplicate name"):
+            DifferentialHarness(
+                [GccCompiler(), GccCompiler(), NvccCompiler()],
+                CampaignConfig(budget=1),
+            )
+        with pytest.raises(ValueError, match="gcc"):
+            DifferentialHarness(
+                [GccCompiler(), GccCompiler(), NvccCompiler()],
+                CampaignConfig(budget=1),
+            )
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(jobs=0)
+        with pytest.raises(ValueError):
+            EngineConfig(cache_capacity=0)
+
+
+class TestDifferingValueGuard:
+    """Satellite: a matching printed prefix with a None final must not
+    crash digit accounting — it becomes a sentinel comparison."""
+
+    def test_none_final_returns_sentinel(self):
+        ra = _BinaryRun(signature="", value=None, printed=())
+        rb = _BinaryRun(
+            signature="3ff0000000000000", value=1.0, printed=(1.0,)
+        )
+        va, vb = _differing_values(ra, rb)
+        assert va is None and vb == 1.0
+        assert _diffing_digits(va, vb) == 0
+
+    def test_sentinel_comparison_recorded_not_raised(self):
+        # Engine-level: inject runs directly into the compare stage.
+        from repro.difftest.record import ProgramOutcome
+        from repro.toolchains import OptLevel
+
+        compilers = [GccCompiler(), NvccCompiler()]
+        engine = CampaignEngine(
+            compilers,
+            CampaignConfig(budget=1, levels=(OptLevel.O0,)),
+        )
+        outcome = ProgramOutcome(
+            index=0, program=GeneratedProgram(source="", inputs=())
+        )
+        runs = {
+            ("gcc", OptLevel.O0): _BinaryRun("", None, ()),
+            ("nvcc", OptLevel.O0): _BinaryRun("3ff0000000000000", 1.0, (1.0,)),
+        }
+        engine._compare_stage(0, runs, outcome)
+        assert len(outcome.comparisons) == 1
+        rec = outcome.comparisons[0]
+        assert not rec.consistent
+        assert rec.value_a is None and rec.value_b == 1.0
+        assert rec.digit_diff == 0
+        assert rec.kind is None  # sentinel: outside the five-class taxonomy
+
+    def test_matched_digits_still_computed(self):
+        ra = _BinaryRun("x", 1.0, (1.0,))
+        rb = _BinaryRun("y", 2.0, (2.0,))
+        va, vb = _differing_values(ra, rb)
+        assert (va, vb) == (1.0, 2.0)
+        assert _diffing_digits(va, vb) > 0
