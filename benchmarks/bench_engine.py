@@ -1,28 +1,39 @@
-"""E-ENG: campaign throughput — serial legacy loop vs the staged engine.
+"""E-ENG: campaign throughput — serial loop vs thread vs process backends.
 
 Replays one fixed program workload (the substrate benchmark generator)
-through two engine configurations:
+through three engine configurations:
 
-* **serial** — ``jobs=1``, compile cache off, run sharing off: the exact
-  cost model of the pre-engine monolithic loop (recompile and re-execute
-  every (compiler, level) cell from scratch).
-* **engine** — ``jobs=4`` with the content-addressed compile cache and
-  identical-binary run sharing on.
+* **serial** — ``backend=serial``, compile cache off, run sharing off:
+  the exact cost model of the pre-engine monolithic loop (recompile and
+  re-execute every (compiler, level) cell from scratch).
+* **thread** — ``backend=thread, jobs=4`` with the content-addressed
+  compile cache and identical-binary run sharing on.  Its speedup is
+  funded by *dedup* (the GIL serializes the thread workers).
+* **process** — ``backend=process, jobs=auto`` with the same caching:
+  execute tasks ship to a process pool as picklable kernel specs, adding
+  real multi-core parallelism on top of the dedup.
 
-Asserted shape: the full engine sustains >= 2x the serial programs/sec on
-this workload, and the two CampaignResults are byte-identical.  The
-speedup is funded by provable deduplication (levels with identical
-pipelines compile once; binaries with content-identical optimized kernel
-and FP environment execute once), never by changing what is computed —
-the thread fan-out itself adds no CPU parallelism under CPython's GIL.
+Asserted shape: every configuration produces a byte-identical
+CampaignResult; the thread/dedup engine sustains >= 2x the serial
+programs/sec on any machine; the process backend sustains >= 2x serial
+on multi-core hardware (on a single core its IPC overhead is reported
+but not asserted — there is no parallelism to buy).
 
-Run standalone for a quick report::
+Run standalone for a report plus machine-readable results::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
+
+``scripts/check_bench_regression.py`` compares that JSON against the
+committed baseline (``benchmarks/BENCH_engine_baseline.json``) and fails
+on >30% throughput regression — the CI gate.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import sys
 import time
 
 from repro.difftest.config import CampaignConfig
@@ -36,8 +47,17 @@ from repro.utils.rng import SplittableRng
 _BUDGET = 40
 _SEED = 20250916
 
-SERIAL = EngineConfig(jobs=1, compile_cache=False, share_runs=False)
-ENGINE = EngineConfig(jobs=4, compile_cache=True, share_runs=True)
+CONFIGS = {
+    "serial": EngineConfig(
+        backend="serial", jobs=1, compile_cache=False, share_runs=False
+    ),
+    "thread": EngineConfig(
+        backend="thread", jobs=4, compile_cache=True, share_runs=True
+    ),
+    "process": EngineConfig(
+        backend="process", jobs="auto", compile_cache=True, share_runs=True
+    ),
+}
 
 
 class _Replay:
@@ -100,36 +120,74 @@ def _result_key(result):
 
 def measure(budget: int = _BUDGET) -> dict:
     programs = _workload(budget)
-    serial_result, serial_s = _run(programs, SERIAL)
-    engine_result, engine_s = _run(programs, ENGINE)
+    keys = {}
+    configs = {}
+    shared = {}
+    for name, engine_config in CONFIGS.items():
+        result, seconds = _run(programs, engine_config)
+        keys[name] = _result_key(result)
+        configs[name] = {
+            "seconds": seconds,
+            "throughput": budget / seconds,
+            "jobs": engine_config.resolved_jobs,
+        }
+        shared[name] = result
+    serial_s = configs["serial"]["seconds"]
     return {
+        "schema": 2,
         "budget": budget,
-        "serial_seconds": serial_s,
-        "engine_seconds": engine_s,
-        "serial_throughput": budget / serial_s,
-        "engine_throughput": budget / engine_s,
-        "speedup": serial_s / engine_s,
-        "identical": _result_key(serial_result) == _result_key(engine_result),
-        "run_share_rate": engine_result.run_share_rate,
-        "cache_hit_rate": engine_result.cache_hit_rate,
-        "stage_seconds": engine_result.stage_seconds,
+        "cpu_count": os.cpu_count() or 1,
+        "configs": configs,
+        "thread_speedup": serial_s / configs["thread"]["seconds"],
+        "process_speedup": serial_s / configs["process"]["seconds"],
+        "identical": all(keys[n] == keys["serial"] for n in CONFIGS),
+        "run_share_rate": shared["thread"].run_share_rate,
+        "cache_hit_rate": shared["thread"].cache_hit_rate,
+        "stage_seconds": shared["thread"].stage_seconds,
     }
 
 
 def render(m: dict) -> str:
+    c = m["configs"]
     lines = [
-        f"engine throughput (substrate workload, {m['budget']} programs)",
-        f"  serial   (jobs=1, no cache, no sharing): "
-        f"{m['serial_throughput']:7.1f} programs/s",
-        f"  engine   (jobs=4, cache + sharing):      "
-        f"{m['engine_throughput']:7.1f} programs/s",
-        f"  speedup: {m['speedup']:.2f}x   identical results: {m['identical']}",
+        f"engine throughput (substrate workload, {m['budget']} programs, "
+        f"{m['cpu_count']} CPUs)",
+        f"  serial   (inline, no cache, no sharing):   "
+        f"{c['serial']['throughput']:7.1f} programs/s",
+        f"  thread   (jobs=4, cache + sharing):        "
+        f"{c['thread']['throughput']:7.1f} programs/s  "
+        f"({m['thread_speedup']:.2f}x)",
+        f"  process  (jobs={c['process']['jobs']}, cache + sharing):"
+        f"        {c['process']['throughput']:7.1f} programs/s  "
+        f"({m['process_speedup']:.2f}x)",
+        f"  identical results across backends: {m['identical']}",
         f"  run share rate: {m['run_share_rate'] * 100:.1f}%"
         f"   cache hit rate: {m['cache_hit_rate'] * 100:.1f}%",
-        "  engine stage seconds:   "
+        "  thread stage seconds:   "
         + "  ".join(f"{k}={v:.2f}" for k, v in m["stage_seconds"].items()),
     ]
     return "\n".join(lines)
+
+
+def check(m: dict) -> list[str]:
+    """The acceptance assertions; returns human-readable failures."""
+    failures = []
+    if not m["identical"]:
+        failures.append("serial/thread/process results differ (determinism broken)")
+    if m["thread_speedup"] < 2.0:
+        failures.append(
+            f"thread/dedup speedup {m['thread_speedup']:.2f}x < 2x over serial"
+        )
+    if m["run_share_rate"] < 0.5:
+        failures.append(
+            f"run share rate {m['run_share_rate'] * 100:.1f}% < 50%"
+        )
+    if m["cpu_count"] >= 2 and m["process_speedup"] < 2.0:
+        failures.append(
+            f"process speedup {m['process_speedup']:.2f}x < 2x over serial "
+            f"on a {m['cpu_count']}-CPU machine"
+        )
+    return failures
 
 
 def bench_engine_throughput(benchmark, out_dir):
@@ -137,18 +195,33 @@ def bench_engine_throughput(benchmark, out_dir):
 
     m = once(benchmark, measure)
     save_artifact(out_dir, "engine_throughput.txt", render(m))
+    (out_dir / "BENCH_engine.json").write_text(
+        json.dumps(m, indent=2) + "\n", encoding="utf-8"
+    )
+    failures = check(m)
+    assert not failures, "; ".join(failures)
 
-    # Acceptance: >= 2x throughput, byte-identical outputs.
-    assert m["identical"]
-    assert m["speedup"] >= 2.0
-    # the dedup that funds the speedup
-    assert m["run_share_rate"] >= 0.5
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="engine throughput benchmark")
+    parser.add_argument("--budget", type=int, default=_BUDGET)
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable results here (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    report = measure(args.budget)
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    failures = check(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    report = measure()
-    print(render(report))
-    if not report["identical"]:
-        raise SystemExit("FAIL: serial and engine results differ")
-    if report["speedup"] < 2.0:
-        raise SystemExit(f"FAIL: speedup {report['speedup']:.2f}x < 2x")
+    raise SystemExit(main())

@@ -10,7 +10,6 @@ from __future__ import annotations
 from conftest import once, save_artifact
 
 from repro.experiments import figure3
-from repro.fp.classify import FPClass
 
 
 def _shares(series: dict[str, int]) -> tuple[float, float]:

@@ -10,15 +10,17 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.difftest.backend import BACKENDS, parse_jobs
 from repro.difftest.config import CampaignConfig
 from repro.difftest.engine import EngineConfig
 from repro.difftest.harness import run_campaign
 from repro.difftest.record import ProgramOutcome
 from repro.difftest.report import CampaignReport
+from repro.difftest.store import CampaignStore, load_result, merge_shards
 from repro.experiments import table2, table3, table4, table5, figure3
 from repro.experiments.approaches import APPROACHES, make_generator
 from repro.experiments.runner import ExperimentContext
-from repro.experiments.settings import ExperimentSettings
+from repro.experiments.settings import ExperimentSettings, parse_shard
 from repro.fp.formats import Precision
 from repro.generation.prompts import direct_prompt, grammar_prompt, mutation_prompt
 from repro.toolchains import default_compilers
@@ -63,11 +65,27 @@ class _StreamProgress:
         self.stream.flush()
 
 
+def _jobs_arg(value: str) -> int | str:
+    """``--jobs N`` or ``--jobs auto`` (one worker per CPU)."""
+    try:
+        return parse_jobs(value)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(str(e)) from e
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     rng = SplittableRng(args.seed, f"cli-{args.approach}")
     generator = make_generator(args.approach, rng)
     config = CampaignConfig(budget=args.budget, seed=args.seed)
-    engine_config = EngineConfig(jobs=args.jobs, compile_cache=not args.no_cache)
+    shard_index, shard_count = parse_shard(args.shard)
+    engine_config = EngineConfig(
+        jobs=args.jobs,
+        compile_cache=not args.no_cache,
+        backend=args.backend,
+        shard_index=shard_index,
+        shard_count=shard_count,
+    )
+    store = CampaignStore(args.resume) if args.resume else None
     progress = None if args.quiet else _StreamProgress(args.budget)
     result = run_campaign(
         generator,
@@ -75,6 +93,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config,
         progress=progress,
         engine_config=engine_config,
+        store=store,
     )
     if progress is not None:
         progress.finish()
@@ -82,7 +101,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     s = report.summary()
     print(f"approach:             {s['approach']}")
     print(f"programs:             {args.budget}")
-    print(f"jobs:                 {args.jobs}")
+    print(f"backend:              {args.backend}")
+    print(f"jobs:                 {engine_config.resolved_jobs}")
+    if shard_count > 1:
+        owned = len(range(shard_index, args.budget, shard_count))
+        print(f"shard:                {shard_index}/{shard_count} ({owned} programs)")
+    if store is not None:
+        print(f"checkpoint:           {store.path}")
     print(f"compile cache:        {'off' if args.no_cache else 'on'}")
     print(f"total comparisons:    {s['total_comparisons']:,}")
     print(f"inconsistencies:      {s['inconsistencies']:,}")
@@ -99,12 +124,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
-    settings = ExperimentSettings(
-        budget=args.budget,
-        seed=args.seed,
-        jobs=args.jobs,
-        compile_cache=not args.no_cache,
-    )
+    # Only flags the user actually passed override ExperimentSettings;
+    # omitted ones fall through to the REPRO_* environment knobs.
+    overrides = {
+        "budget": args.budget,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "backend": args.backend,
+        "checkpoint_dir": args.checkpoint_dir,
+    }
+    kwargs = {k: v for k, v in overrides.items() if v is not None}
+    if args.no_cache:
+        kwargs["compile_cache"] = False
+    settings = ExperimentSettings(**kwargs)
+    if parse_shard(settings.shard) != (0, 1):
+        # fail fast, before any campaign burns compute: every table runs
+        # the llm4fp feedback approach, which the sharded engine rejects
+        print(
+            "tables cannot run sharded: the table experiments include the "
+            "llm4fp feedback approach, whose program stream depends on "
+            "verdicts other shards would compute. Shard individual "
+            "feedback-free campaigns instead: llm4fp run --shard i/n",
+            file=sys.stderr,
+        )
+        return 2
     ctx = ExperimentContext(settings)
     names = args.names or list(_TABLES)
     for name in names:
@@ -114,6 +157,27 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             return 2
         print(runner(ctx))
         print()
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """Splice shard checkpoint files back into one campaign report."""
+    results = [load_result(path) for path in args.checkpoints]
+    merged = merge_shards(results)
+    report = CampaignReport(merged)
+    s = report.summary()
+    print(f"approach:             {s['approach']}")
+    print(f"programs:             {merged.budget}")
+    print(f"shards merged:        {len(results)}")
+    print(f"total comparisons:    {s['total_comparisons']:,}")
+    print(f"inconsistencies:      {s['inconsistencies']:,}")
+    print(f"inconsistency rate:   {s['inconsistency_rate'] * 100:.2f}%")
+    print(f"triggering programs:  {s['triggering_programs']}")
+    kinds = report.kind_counts().as_labels()
+    if kinds:
+        print("kinds:")
+        for label, count in kinds.items():
+            print(f"  {label:<16} {count}")
     return 0
 
 
@@ -142,9 +206,24 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--budget", type=int, default=100)
     p_run.add_argument("--seed", type=int, default=20250916)
     p_run.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker threads for the compile+execute matrix (default 1; "
-        "throughput gains come from caching/run sharing, not the GIL-bound threads)",
+        "--backend", choices=BACKENDS, default="thread",
+        help="matrix fan-out: serial (inline), thread (GIL-bound pool), "
+        "process (multi-core execute stage); results are byte-identical",
+    )
+    p_run.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="workers for the compile+execute matrix (default 1; 'auto' = "
+        "one per CPU; real CPU parallelism needs --backend process)",
+    )
+    p_run.add_argument(
+        "--shard", default=None, metavar="i/n",
+        help="test only budget indices with index %% n == i; disjoint "
+        "shards merge bit-identically (feedback-free approaches only)",
+    )
+    p_run.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="JSONL checkpoint file: completed programs are replayed from "
+        "it, new ones appended, so an interrupted campaign continues",
     )
     p_run.add_argument(
         "--no-cache", action="store_true",
@@ -158,18 +237,50 @@ def main(argv: list[str] | None = None) -> int:
 
     p_tab = sub.add_parser("tables", help="regenerate paper tables/figures")
     p_tab.add_argument("names", nargs="*", help=f"subset of {list(_TABLES)}")
-    p_tab.add_argument("--budget", type=int, default=200)
-    p_tab.add_argument("--seed", type=int, default=20250916)
+    # defaults stay None so the REPRO_* environment knobs apply when a
+    # flag is omitted (flags win when given)
     p_tab.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker threads for the compile+execute matrix (default 1; "
-        "throughput gains come from caching/run sharing, not the GIL-bound threads)",
+        "--budget", type=int, default=None,
+        help="programs per approach (default: REPRO_BUDGET or 200)",
+    )
+    p_tab.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign seed (default: REPRO_SEED or 20250916)",
+    )
+    p_tab.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="matrix fan-out backend, byte-identical results "
+        "(default: REPRO_BACKEND or thread)",
+    )
+    p_tab.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N|auto",
+        help="workers for the compile+execute matrix, 'auto' = one per "
+        "CPU (default: REPRO_JOBS or 1)",
+    )
+    p_tab.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist per-approach JSONL checkpoints here; re-running with "
+        "identical settings resumes instead of recomputing",
     )
     p_tab.add_argument(
         "--no-cache", action="store_true",
         help="disable the content-addressed compile cache",
     )
     p_tab.set_defaults(func=_cmd_tables)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge shard checkpoint files into one campaign report",
+        description="Merge the JSONL checkpoints of a sharded campaign "
+        "(each produced by `run --shard i/n --resume PATH`, possibly on "
+        "different machines) and report the combined result — "
+        "bit-identical to an unsharded run.",
+    )
+    p_merge.add_argument(
+        "checkpoints", nargs="+", metavar="SHARD.jsonl",
+        help="one completed checkpoint file per shard (all n of them)",
+    )
+    p_merge.set_defaults(func=_cmd_merge)
 
     p_show = sub.add_parser("show-prompt", help="print one of the paper's prompts")
     p_show.add_argument("kind", choices=("direct", "grammar", "mutation"))

@@ -13,6 +13,15 @@ from repro.difftest.record import (
     ProgramOutcome,
     CampaignResult,
 )
+from repro.difftest.backend import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+    resolve_jobs,
+)
 from repro.difftest.engine import (
     CampaignEngine,
     CompileRecord,
@@ -23,8 +32,19 @@ from repro.difftest.engine import (
 )
 from repro.difftest.harness import DifferentialHarness, run_campaign
 from repro.difftest.report import CampaignReport
+from repro.difftest.store import CampaignStore, CampaignStoreError, merge_shards
 
 __all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "resolve_jobs",
+    "CampaignStore",
+    "CampaignStoreError",
+    "merge_shards",
     "CampaignConfig",
     "digit_difference",
     "compare_signatures",

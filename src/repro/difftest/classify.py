@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from itertools import combinations, combinations_with_replacement
+from itertools import combinations_with_replacement
 
 from repro.fp.classify import CLASS_ORDER, FPClass, classify_double
 

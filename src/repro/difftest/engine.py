@@ -26,35 +26,56 @@ cacheable and concurrently schedulable:
 * **compare** — pairwise bitwise comparison at each level, unchanged
   semantics.
 
-Distinct compile and execute units fan out to a
-:class:`concurrent.futures.ThreadPoolExecutor` when ``jobs > 1``.  Results
-are gathered in matrix order and every record dict is filled in the same
-deterministic order as the serial loop, so a :class:`CampaignResult` is
-byte-identical across job counts and cache configurations — only the
-stage timings differ.
+Distinct compile and execute units fan out to an
+:class:`~repro.difftest.backend.ExecutionBackend` — ``serial`` (inline),
+``thread`` (GIL-bound scheduling slack), or ``process`` (true multi-core:
+execute tasks ship to a :class:`~concurrent.futures.ProcessPoolExecutor`
+as picklable specs through the pure ``execution/worker`` entry point).
+Results are gathered in matrix order and every record dict is filled in
+the same deterministic order as the serial loop, so a
+:class:`CampaignResult` is byte-identical across backends, job counts and
+cache configurations — only the stage timings differ.
 
-Note on throughput: the measured gains (>= 2x on the substrate workload,
-``benchmarks/bench_engine.py``) come from the *dedup* — level-class
-compilation sharing, the cross-program cache, and identical-binary run
-sharing.  The stages here are pure Python, so under CPython's GIL thread
-workers add scheduling slack but no CPU parallelism; the ``jobs`` knob
-pays off on runtimes without a GIL (or if stages grow I/O / native
-sections that release it).
+Two campaign-scale facilities ride on that determinism:
+
+* **resume** — give :meth:`CampaignEngine.run` a
+  :class:`~repro.difftest.store.CampaignStore` and every completed
+  program is checkpointed to JSONL; an interrupted campaign replays the
+  cheap generate stage (restoring the generator's feedback state from the
+  stored verdicts) and recomputes only unfinished programs.
+* **sharding** — ``shard i/n`` deterministically partitions the budget by
+  ``index % n`` so n machines produce disjoint shards whose
+  :func:`~repro.difftest.store.merge_shards` union is bit-identical to
+  an unsharded run.  Requires a feedback-free generator (with feedback,
+  program *i+1* depends on verdicts the shard does not compute).
+
+Note on throughput: with the ``thread`` backend the measured gains
+(>= 2x on the substrate workload, ``benchmarks/bench_engine.py``) come
+from the *dedup* — level-class compilation sharing, the cross-program
+cache, and identical-binary run sharing — because the stages are pure
+Python and CPython's GIL serializes thread workers.  The ``process``
+backend adds real CPU parallelism on top for the execute stage, which
+dominates campaign wall-clock.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from itertools import combinations
 
+from repro.difftest.backend import (
+    BACKENDS,
+    ExecutionBackend,
+    create_backend,
+    resolve_jobs,
+)
 from repro.difftest.compare import digit_difference
 from repro.difftest.config import CampaignConfig
 from repro.difftest.record import CampaignResult, ComparisonRecord, ProgramOutcome
 from repro.errors import CompileError, ReproError
 from repro.execution.result import ExecutionResult, _value_hex
-from repro.execution.worker import run_kernel
+from repro.execution.worker import run_kernel_task
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program
 from repro.generation.program import GeneratedProgram, ProgramGenerator
@@ -84,10 +105,9 @@ class EngineConfig:
     """Execution knobs of the engine (orthogonal to the campaign config).
 
     Attributes:
-        jobs: worker threads fanning out the per-program compile+execute
-            matrix; ``1`` runs every stage inline.  Thread workers give no
-            CPU parallelism under CPython's GIL (see the module docstring)
-            — the throughput wins come from caching and run sharing.
+        jobs: workers fanning out the per-program compile+execute matrix;
+            ``1`` runs every stage inline, ``"auto"`` uses one worker per
+            CPU.  What a worker *is* depends on ``backend``.
         compile_cache: keep a campaign-wide content-addressed cache of
             compiled binaries (kernel fingerprint x compiler x level class).
         cache_capacity: LRU bound of that cache, in binaries.
@@ -96,18 +116,49 @@ class EngineConfig:
             content-identical (optimized kernel, environment) execute once.
             Disabling both knobs reproduces the legacy serial cost model
             exactly (used as the benchmark baseline).
+        backend: fan-out policy — ``"serial"`` (inline, requires jobs=1),
+            ``"thread"`` (GIL-bound thread pool, the historical behaviour)
+            or ``"process"`` (multi-core process pool for the execute
+            stage).  Results are byte-identical across all three.
+        shard_index / shard_count: run only budget indices where
+            ``index % shard_count == shard_index``; disjoint shards merge
+            to the unsharded result (:func:`repro.difftest.store.merge_shards`).
     """
 
-    jobs: int = 1
+    jobs: int | str = 1
     compile_cache: bool = True
     cache_capacity: int = 4096
     share_runs: bool = True
+    backend: str = "thread"
+    shard_index: int = 0
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
-        if self.jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        resolve_jobs(self.jobs)  # validates int >= 1 or "auto"
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.backend == "serial" and resolve_jobs(self.jobs) != 1:
+            raise ValueError("the serial backend runs inline; use jobs=1")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), "
+                f"got {self.shard_index}"
+            )
+
+    @property
+    def resolved_jobs(self) -> int:
+        """The effective worker count (``"auto"`` resolved to CPU count)."""
+        return resolve_jobs(self.jobs)
+
+    def owns(self, index: int) -> bool:
+        """Whether this shard tests budget index ``index``."""
+        return index % self.shard_count == self.shard_index
 
 
 @dataclass
@@ -152,6 +203,19 @@ class _BinaryRun:
     signature: str | None
     value: float | None
     printed: tuple[float, ...] = ()
+
+
+def _check_replay(
+    index: int, stored: ProgramOutcome, program: GeneratedProgram
+) -> None:
+    """A checkpointed outcome must describe the program the generator just
+    replayed — otherwise the store belongs to a different campaign/seed."""
+    if stored.program.source != program.source:
+        raise ValueError(
+            f"checkpoint mismatch at program {index}: stored source differs "
+            "from the regenerated program (wrong store for this "
+            "approach/seed/config?)"
+        )
 
 
 def _validate_compilers(compilers: list[Compiler]) -> None:
@@ -199,48 +263,92 @@ class CampaignEngine:
     # -- campaign loop -----------------------------------------------------------
 
     def run(
-        self, generator: ProgramGenerator, progress: object = None
+        self,
+        generator: ProgramGenerator,
+        progress: object = None,
+        store: object = None,
     ) -> CampaignResult:
         """Run one approach's full campaign (Figure 1's outer loop).
 
         ``progress``, if given, is called as ``progress(i, outcome)`` after
         each program.  Generation stays serial (the feedback loop is a
-        sequential dependency); each program's matrix fans out to
-        ``engine_config.jobs`` workers.
+        sequential dependency); each program's matrix fans out through the
+        configured :class:`~repro.difftest.backend.ExecutionBackend`.
+
+        ``store``, if given, is a
+        :class:`~repro.difftest.store.CampaignStore`: completed programs
+        already checkpointed there are *replayed* — the generate stage
+        still runs (restoring generator and feedback state), but the
+        matrix is served from the stored outcome — and freshly tested
+        programs are appended, so an interrupted campaign resumes from
+        the last completed program bit-identically.
+
+        When the engine is sharded (``shard_count > 1``) only owned budget
+        indices are tested; generation still covers every index so all
+        shards see the identical program stream.  Sharding a feedback
+        generator is rejected: its stream depends on verdicts other
+        shards would compute.
         """
         config = self.config
+        ec = self.engine_config
+        if ec.shard_count > 1 and getattr(generator, "use_feedback", False):
+            raise ValueError(
+                "cannot shard a feedback generator: program i+1 depends on "
+                "verdicts for earlier programs, which other shards compute; "
+                "use a feedback-free approach or shard_count=1"
+            )
         result = CampaignResult(
             approach=getattr(generator, "name", type(generator).__name__),
             budget=config.budget,
             levels=config.levels,
             compilers=tuple(c.name for c in self.compilers),
+            shard_index=ec.shard_index,
+            shard_count=ec.shard_count,
         )
+        done: dict[int, ProgramOutcome] = {}
+        if store is not None:
+            done = store.open(self._store_header(result))
         sw = Stopwatch()
         # Snapshot lifetime counters so a reused engine (warm shared cache,
         # prior test_program calls) reports per-run deltas, not totals.
         runs_before = (self._shared_runs, self._total_runs)
         cache_before = self.cache.stats() if self.cache is not None else None
-        pool: ThreadPoolExecutor | None = None
-        try:
-            if self.engine_config.jobs > 1:
-                pool = ThreadPoolExecutor(
-                    max_workers=self.engine_config.jobs,
-                    thread_name_prefix="campaign",
-                )
+        with create_backend(ec.backend, ec.jobs) as backend:
             for i in range(config.budget):
                 with sw.phase("generate"):
                     program = generator.generate()
-                outcome = self.test_program(i, program, _sw=sw, _pool=pool)
+                if not ec.owns(i):
+                    continue
+                prior = done.get(i)
+                if prior is not None:
+                    _check_replay(i, prior, program)
+                    outcome = prior
+                else:
+                    outcome = self.test_program(
+                        i, program, _sw=sw, _backend=backend
+                    )
                 if outcome.triggered:
                     generator.notify_success(program)
+                if prior is None and store is not None:
+                    store.append(outcome)
                 result.outcomes.append(outcome)
                 if progress is not None:
                     progress(i, outcome)
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=True)
         self._charge(result, sw, generator, runs_before, cache_before)
         return result
+
+    def _store_header(self, result: CampaignResult) -> dict:
+        """Identity of this campaign for checkpoint validation."""
+        return {
+            "approach": result.approach,
+            "budget": result.budget,
+            "levels": [str(level) for level in result.levels],
+            "compilers": list(result.compilers),
+            "seed": self.config.seed,
+            "max_steps": self.config.max_steps,
+            "shard_index": self.engine_config.shard_index,
+            "shard_count": self.engine_config.shard_count,
+        }
 
     def _charge(
         self,
@@ -276,7 +384,7 @@ class CampaignEngine:
         index: int,
         program: GeneratedProgram,
         _sw: Stopwatch | None = None,
-        _pool: ThreadPoolExecutor | None = None,
+        _backend: ExecutionBackend | None = None,
     ) -> ProgramOutcome:
         """Run one program through frontend/compile/execute/compare."""
         sw = _sw if _sw is not None else Stopwatch()
@@ -284,9 +392,9 @@ class CampaignEngine:
         with sw.phase("frontend"):
             frontend = self._frontend_stage(program.source)
         with sw.phase("compile"):
-            compiles = self._compile_stage(frontend, _pool)
+            compiles = self._compile_stage(frontend, _backend)
         with sw.phase("execute"):
-            executions = self._execute_stage(compiles, program.inputs, _pool)
+            executions = self._execute_stage(compiles, program.inputs, _backend)
         with sw.phase("compare"):
             runs = self._collect(compiles, executions, outcome)
             self._compare_stage(index, runs, outcome)
@@ -323,14 +431,16 @@ class CampaignEngine:
     # -- compile stage -----------------------------------------------------------
 
     def _compile_stage(
-        self, frontend: FrontendRecord, pool: ThreadPoolExecutor | None
+        self, frontend: FrontendRecord, backend: ExecutionBackend | None
     ) -> list[CompileRecord]:
         """Compile the full (compiler, level) matrix, deduplicated.
 
         Returns records in matrix order (compilers outer, levels inner).
         Each (compiler, cache-token) equivalence class compiles at most
         once; follower levels rebind the leader's binary to their own
-        level metadata.  Distinct leader compilations fan out to the pool.
+        level metadata.  Distinct leader compilations fan out through the
+        backend's in-process scheduler (compilations must stay in the
+        parent so the shared compile cache observes them).
         """
         share = self.engine_config.share_runs
         records: list[CompileRecord] = []
@@ -382,8 +492,8 @@ class CampaignEngine:
             except CompileError as e:
                 record.error = str(e)
 
-        if pool is not None and len(units) > 1:
-            list(pool.map(compile_unit, units))
+        if backend is not None and len(units) > 1:
+            backend.map_inline(compile_unit, units)
         else:
             for unit in units:
                 compile_unit(unit)
@@ -412,7 +522,7 @@ class CampaignEngine:
         self,
         compiles: list[CompileRecord],
         inputs: tuple,
-        pool: ThreadPoolExecutor | None,
+        backend: ExecutionBackend | None,
     ) -> dict[str, ExecuteRecord]:
         """Run every compiled binary, sharing content-identical executions.
 
@@ -422,6 +532,11 @@ class CampaignEngine:
         worker's purity guarantee).  Grouping spans compilers: gcc and
         clang frequently converge to the same optimized kernel on
         fold-free programs.
+
+        Each distinct group becomes one picklable
+        :data:`~repro.execution.worker.KernelTask`; the backend decides
+        whether those run inline, on threads, or across processes, and
+        always returns results in task order.
         """
         share = self.engine_config.share_runs
         max_steps = self.config.max_steps
@@ -445,14 +560,14 @@ class CampaignEngine:
         self._total_runs += sum(len(members) for members in ordered)
         self._shared_runs += sum(len(members) - 1 for members in ordered)
 
-        def run_group(members: list[CompileRecord]) -> ExecutionResult:
-            binary = members[0].binary
-            return run_kernel(binary.kernel, binary.env, inputs, max_steps)
-
-        if pool is not None and len(ordered) > 1:
-            results = list(pool.map(run_group, ordered))
+        tasks = [
+            (members[0].binary.kernel, members[0].binary.env, inputs, max_steps)
+            for members in ordered
+        ]
+        if backend is not None and len(tasks) > 1:
+            results = backend.run_kernels(tasks)
         else:
-            results = [run_group(members) for members in ordered]
+            results = [run_kernel_task(task) for task in tasks]
 
         executions: dict[str, ExecuteRecord] = {}
         for members, result in zip(ordered, results):

@@ -52,17 +52,21 @@ def run_campaign(
     config: CampaignConfig | None = None,
     progress: object = None,
     engine_config: EngineConfig | None = None,
+    store: object = None,
 ) -> CampaignResult:
     """Run one approach's full campaign (Figure 1's outer loop).
 
     ``progress``, if given, is called as ``progress(i, outcome)`` after each
-    program.  ``engine_config`` selects worker count and caching
+    program.  ``engine_config`` selects the execution backend, worker
+    count, sharding and caching
     (:class:`~repro.difftest.engine.EngineConfig`); the default is a
     single-worker engine with the compile cache on, which matches the
     legacy serial loop bit-for-bit while skipping redundant recompiles.
-    Returns the aggregate :class:`CampaignResult` with time cost split
-    into per-stage buckets, plus simulated LLM latency when the
-    generator's client models it.
+    ``store``, if given, is a
+    :class:`~repro.difftest.store.CampaignStore` used to checkpoint and
+    resume the campaign.  Returns the aggregate :class:`CampaignResult`
+    with time cost split into per-stage buckets, plus simulated LLM
+    latency when the generator's client models it.
     """
     engine = CampaignEngine(compilers, config, engine_config)
-    return engine.run(generator, progress=progress)
+    return engine.run(generator, progress=progress, store=store)

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.difftest.classify import inconsistency_kind
-from repro.difftest.compare import digit_difference
 from repro.fp.classify import FPClass
 from repro.generation.program import GeneratedProgram
 from repro.toolchains.optlevels import OptLevel
@@ -84,6 +83,12 @@ class CampaignResult:
     #: executions served by an identical binary's run / total executions
     shared_runs: int = 0
     total_runs: int = 0
+    #: which slice of the budget this result covers (``index % shard_count
+    #: == shard_index``); the default 0/1 is a complete, unsharded run.
+    #: ``budget`` always records the *full* campaign budget, so merged
+    #: shards and unsharded runs agree on every denominator.
+    shard_index: int = 0
+    shard_count: int = 1
 
     @property
     def comparisons(self) -> list[ComparisonRecord]:

@@ -14,10 +14,8 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.difftest.classify import KindCount
-from repro.difftest.compare import digit_difference
 from repro.difftest.record import CampaignResult
-from repro.fp.classify import FPClass
-from repro.toolchains.optlevels import ALL_LEVELS, OptLevel
+from repro.toolchains.optlevels import OptLevel
 from repro.utils.timing import format_hms
 
 __all__ = ["DigitStats", "PairLevelCell", "CampaignReport"]

@@ -1,0 +1,340 @@
+"""Persistent campaign checkpoints and shard merging.
+
+A :class:`CampaignStore` is an append-only JSONL file: one header line
+identifying the campaign (approach, budget, levels, compilers, seed,
+shard), then one self-contained record per completed program.  The engine
+appends a record the moment a program's matrix finishes, so a campaign
+killed at program *k* resumes from *k* — the cheap generate stage replays
+(restoring generator/feedback state) and only unfinished programs
+recompute.
+
+Every float crosses the file boundary as its IEEE-754 bit pattern
+(16 hex digits via :func:`repro.fp.bits.double_to_hex`), never as a
+decimal string, so NaNs, infinities, signed zeros and subnormals
+round-trip bit-exactly and a resumed :class:`CampaignResult` is
+byte-identical to an uninterrupted one.
+
+A truncated final line — the signature of a crash mid-append — is
+detected on open and the file is truncated back to the last complete
+record; everything before it is trusted, everything after recomputed.
+
+:func:`merge_shards` is the other half of ``--shard i/n``: it validates
+that a set of disjoint shard results covers the full budget and splices
+their outcomes back into index order, summing timing and dedup counters,
+so the merged result is bit-identical to an unsharded run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.difftest.record import CampaignResult, ComparisonRecord, ProgramOutcome
+from repro.fp.bits import double_to_hex, hex_to_double
+from repro.generation.program import GeneratedProgram
+from repro.toolchains.optlevels import OptLevel
+
+__all__ = [
+    "CampaignStore",
+    "CampaignStoreError",
+    "load_result",
+    "merge_shards",
+    "encode_outcome",
+    "decode_outcome",
+]
+
+_FORMAT_VERSION = 1
+
+
+class CampaignStoreError(ValueError):
+    """The checkpoint file does not match the campaign being run."""
+
+
+# -- bit-exact scalar encoding --------------------------------------------------
+
+
+def _enc_float(v: float | None) -> str | None:
+    return None if v is None else double_to_hex(v)
+
+
+def _dec_float(s: str | None) -> float | None:
+    return None if s is None else hex_to_double(s)
+
+
+def _enc_input(v) -> dict:
+    """One ``compute`` argument: int scalar, float scalar, or float array."""
+    if isinstance(v, (tuple, list)):
+        return {"a": [double_to_hex(float(x)) for x in v]}
+    if isinstance(v, float):
+        return {"f": double_to_hex(v)}
+    if isinstance(v, int) and not isinstance(v, bool):
+        return {"i": v}
+    raise CampaignStoreError(f"unsupported input type {type(v).__name__}: {v!r}")
+
+
+def _dec_input(d: dict):
+    if "a" in d:
+        return tuple(hex_to_double(x) for x in d["a"])
+    if "f" in d:
+        return hex_to_double(d["f"])
+    if "i" in d:
+        return d["i"]
+    raise CampaignStoreError(f"unrecognized input encoding: {d!r}")
+
+
+# -- outcome (de)serialization --------------------------------------------------
+
+
+def encode_outcome(outcome: ProgramOutcome) -> dict:
+    """One program's complete record as a JSON-safe dict."""
+    return {
+        "kind": "outcome",
+        "index": outcome.index,
+        "program": {
+            "source": outcome.program.source,
+            "inputs": [_enc_input(v) for v in outcome.program.inputs],
+            "meta": outcome.program.meta,
+        },
+        "compiled": outcome.compiled,
+        "ran": outcome.ran,
+        "signatures": outcome.signatures,
+        "values": {k: double_to_hex(v) for k, v in outcome.values.items()},
+        "comparisons": [
+            {
+                "a": c.compiler_a,
+                "b": c.compiler_b,
+                "level": str(c.level),
+                "consistent": c.consistent,
+                "value_a": _enc_float(c.value_a),
+                "value_b": _enc_float(c.value_b),
+                "digit_diff": c.digit_diff,
+            }
+            for c in outcome.comparisons
+        ],
+        "triggered": outcome.triggered,
+    }
+
+
+def decode_outcome(record: dict) -> ProgramOutcome:
+    """Inverse of :func:`encode_outcome` (bit-exact)."""
+    index = record["index"]
+    prog = record["program"]
+    program = GeneratedProgram(
+        source=prog["source"],
+        inputs=tuple(_dec_input(v) for v in prog["inputs"]),
+        meta=dict(prog["meta"]),
+    )
+    outcome = ProgramOutcome(
+        index=index,
+        program=program,
+        compiled=dict(record["compiled"]),
+        ran=dict(record["ran"]),
+        triggered=record["triggered"],
+        signatures=dict(record["signatures"]),
+        values={k: hex_to_double(v) for k, v in record["values"].items()},
+    )
+    outcome.comparisons = [
+        ComparisonRecord(
+            program_index=index,
+            compiler_a=c["a"],
+            compiler_b=c["b"],
+            level=OptLevel(c["level"]),
+            consistent=c["consistent"],
+            value_a=_dec_float(c["value_a"]),
+            value_b=_dec_float(c["value_b"]),
+            digit_diff=c["digit_diff"],
+        )
+        for c in record["comparisons"]
+    ]
+    return outcome
+
+
+# -- the store -------------------------------------------------------------------
+
+
+class CampaignStore:
+    """Append-only JSONL checkpoint of one campaign (or one shard of one).
+
+    Usage is mediated by the engine: :meth:`open` validates the header
+    against the campaign about to run (writing it on first use) and
+    returns the already-completed outcomes; :meth:`append` durably
+    records one more.  A store file is self-describing — ``--resume`` on
+    a different machine only needs the file and the same campaign
+    invocation.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def open(self, header: dict) -> dict[int, ProgramOutcome]:
+        """Validate/initialize the file; return checkpointed outcomes."""
+        expected = {"kind": "campaign", "version": _FORMAT_VERSION, **header}
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._write_line(expected, mode="w")
+            return {}
+        lines, good_bytes, total_bytes = self._read_complete_lines()
+        if not lines:
+            # A non-empty file with no decodable header is NOT ours to
+            # reinitialize — --resume may have been pointed at the wrong
+            # path, and overwriting would destroy it.
+            raise CampaignStoreError(
+                f"{self.path} exists but is not a campaign checkpoint "
+                "(no decodable header line); refusing to overwrite — "
+                "delete it or pass a different path"
+            )
+        stored_header = lines[0]
+        if stored_header != expected:
+            raise CampaignStoreError(
+                f"checkpoint {self.path} belongs to a different campaign:\n"
+                f"  stored:   {stored_header}\n  expected: {expected}"
+            )
+        if good_bytes < total_bytes:
+            # crash tail: drop the partial record, keep the complete prefix
+            with self.path.open("r+b") as f:
+                f.truncate(good_bytes)
+        done: dict[int, ProgramOutcome] = {}
+        for record in lines[1:]:
+            if record.get("kind") != "outcome":
+                raise CampaignStoreError(
+                    f"unexpected record kind {record.get('kind')!r} in {self.path}"
+                )
+            outcome = decode_outcome(record)
+            done[outcome.index] = outcome
+        return done
+
+    def append(self, outcome: ProgramOutcome) -> None:
+        """Durably checkpoint one completed program."""
+        self._write_line(encode_outcome(outcome), mode="a")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _write_line(self, record: dict, mode: str) -> None:
+        with self.path.open(mode, encoding="utf-8") as f:
+            f.write(json.dumps(record, separators=(",", ":")) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def _read_complete_lines(self) -> tuple[list[dict], int, int]:
+        """All decodable leading records + the byte offset they end at.
+
+        Stops at the first line that fails to decode (a record half-written
+        when the process died); callers truncate the file there.
+        """
+        records: list[dict] = []
+        good = 0
+        data = self.path.read_bytes()
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # partial final line
+            try:
+                records.append(json.loads(raw.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                break
+            good += len(raw)
+        return records, good, len(data)
+
+
+def load_result(path: str | os.PathLike) -> CampaignResult:
+    """Reconstruct a :class:`CampaignResult` from a checkpoint file alone.
+
+    The file is self-describing (the header pins approach, budget, levels,
+    compilers and shard), so this is how shard results come back together
+    after running on separate machines: load each shard's JSONL and hand
+    the results to :func:`merge_shards`.  Timing and cache/dedup counters
+    are not checkpointed — they describe the machine that ran the shard,
+    not the campaign — so they read zero on a loaded result.
+    """
+    store = CampaignStore(path)
+    lines, _, _ = store._read_complete_lines()
+    if not lines or lines[0].get("kind") != "campaign":
+        raise CampaignStoreError(f"{path} is not a campaign checkpoint")
+    header = lines[0]
+    if header.get("version") != _FORMAT_VERSION:
+        raise CampaignStoreError(
+            f"{path}: unsupported checkpoint version {header.get('version')!r}"
+        )
+    outcomes = []
+    for record in lines[1:]:
+        if record.get("kind") != "outcome":
+            raise CampaignStoreError(
+                f"unexpected record kind {record.get('kind')!r} in {path}"
+            )
+        outcomes.append(decode_outcome(record))
+    outcomes.sort(key=lambda o: o.index)
+    return CampaignResult(
+        approach=header["approach"],
+        budget=header["budget"],
+        levels=tuple(OptLevel(s) for s in header["levels"]),
+        compilers=tuple(header["compilers"]),
+        outcomes=outcomes,
+        shard_index=header["shard_index"],
+        shard_count=header["shard_count"],
+    )
+
+
+# -- shard merging ---------------------------------------------------------------
+
+
+def merge_shards(results: list[CampaignResult]) -> CampaignResult:
+    """Splice disjoint shard results back into one complete campaign.
+
+    The input must be every shard of one campaign (each produced with the
+    same approach/budget/levels/compilers and a common ``shard_count``).
+    Outcomes are re-interleaved by budget index and matrix-stage timings
+    and dedup counters summed; the merged result is bit-identical to an
+    unsharded run for every observable field.  Generation time (and
+    simulated LLM latency) is taken as the *maximum* over shards, not the
+    sum: every shard replays the full program stream, so summing would
+    overstate it ~shard_count-fold relative to the unsharded run.
+    """
+    if not results:
+        raise ValueError("merge_shards needs at least one shard result")
+    first = results[0]
+    identity = (first.approach, first.budget, first.levels, first.compilers)
+    count = first.shard_count
+    seen: set[int] = set()
+    for r in results:
+        if (r.approach, r.budget, r.levels, r.compilers) != identity:
+            raise ValueError(
+                "shard results describe different campaigns: "
+                f"{(r.approach, r.budget)} vs {(first.approach, first.budget)}"
+            )
+        if r.shard_count != count:
+            raise ValueError(
+                f"mixed shard counts: {r.shard_count} vs {count}"
+            )
+        if r.shard_index in seen:
+            raise ValueError(f"duplicate shard {r.shard_index}/{count}")
+        seen.add(r.shard_index)
+    if seen != set(range(count)):
+        missing = sorted(set(range(count)) - seen)
+        raise ValueError(f"incomplete shard set: missing {missing} of /{count}")
+    outcomes = sorted(
+        (o for r in results for o in r.outcomes), key=lambda o: o.index
+    )
+    indices = [o.index for o in outcomes]
+    if indices != list(range(first.budget)):
+        raise ValueError(
+            "merged shards do not cover the budget exactly "
+            f"({len(indices)} outcomes for budget {first.budget})"
+        )
+    merged = replace(
+        first,
+        outcomes=outcomes,
+        generation_seconds=max(r.generation_seconds for r in results),
+        frontend_seconds=sum(r.frontend_seconds for r in results),
+        compile_seconds=sum(r.compile_seconds for r in results),
+        execute_seconds=sum(r.execute_seconds for r in results),
+        compare_seconds=sum(r.compare_seconds for r in results),
+        llm_latency_seconds=max(r.llm_latency_seconds for r in results),
+        cache_hits=sum(r.cache_hits for r in results),
+        cache_misses=sum(r.cache_misses for r in results),
+        shared_runs=sum(r.shared_runs for r in results),
+        total_runs=sum(r.total_runs for r in results),
+        shard_index=0,
+        shard_count=1,
+    )
+    return merged

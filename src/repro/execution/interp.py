@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.errors import StepLimitExceeded, TrapError
 from repro.execution.limits import DEFAULT_MAX_STEPS, INT_MAX, INT_MIN

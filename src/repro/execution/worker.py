@@ -20,7 +20,14 @@ from repro.execution.result import ExecutionResult
 from repro.fp.env import FPEnvironment
 from repro.ir import nodes as ir
 
-__all__ = ["run_kernel"]
+__all__ = ["KernelTask", "run_kernel", "run_kernel_task"]
+
+#: A fully picklable execution unit: (kernel IR, FP environment, inputs,
+#: step limit).  This is the wire format of the process backend — every
+#: component is a plain dataclass/tuple, so the spec crosses a
+#: :class:`~concurrent.futures.ProcessPoolExecutor` boundary intact and
+#: pickle round-trips floats bit-exactly.
+KernelTask = tuple
 
 
 def run_kernel(
@@ -36,3 +43,9 @@ def run_kernel(
     arguments.
     """
     return Interpreter(kernel, env, max_steps).run(inputs)
+
+
+def run_kernel_task(task: KernelTask) -> ExecutionResult:
+    """Unpack one :data:`KernelTask` and run it (pool ``map`` entry point)."""
+    kernel, env, inputs, max_steps = task
+    return run_kernel(kernel, env, inputs, max_steps)

@@ -3,13 +3,16 @@ reuse it across every table/figure that consumes it."""
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.difftest.config import CampaignConfig
 from repro.difftest.engine import EngineConfig
 from repro.difftest.harness import run_campaign
 from repro.difftest.record import CampaignResult
 from repro.difftest.report import CampaignReport
+from repro.difftest.store import CampaignStore
 from repro.experiments.approaches import make_generator
-from repro.experiments.settings import ExperimentSettings
+from repro.experiments.settings import ExperimentSettings, parse_shard
 from repro.toolchains import default_compilers
 from repro.utils.rng import SplittableRng
 
@@ -25,11 +28,28 @@ class ExperimentContext:
 
     def engine_config(self) -> EngineConfig:
         s = self.settings
+        shard_index, shard_count = parse_shard(s.shard)
         return EngineConfig(
             jobs=s.jobs,
             compile_cache=s.compile_cache,
             cache_capacity=s.cache_capacity,
+            backend=s.backend,
+            shard_index=shard_index,
+            shard_count=shard_count,
         )
+
+    def store(self, approach: str) -> CampaignStore | None:
+        """This approach's checkpoint store, if persistence is configured.
+
+        One JSONL file per (approach, shard) under ``checkpoint_dir``; a
+        re-run with identical settings resumes from it.
+        """
+        s = self.settings
+        if s.checkpoint_dir is None:
+            return None
+        shard_index, shard_count = parse_shard(s.shard)
+        suffix = f"-shard{shard_index}of{shard_count}" if shard_count > 1 else ""
+        return CampaignStore(Path(s.checkpoint_dir) / f"{approach}{suffix}.jsonl")
 
     def campaign(self, approach: str) -> CampaignResult:
         if approach not in self._results:
@@ -44,6 +64,7 @@ class ExperimentContext:
                 default_compilers(),
                 config,
                 engine_config=self.engine_config(),
+                store=self.store(approach),
             )
         return self._results[approach]
 

@@ -5,9 +5,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.difftest.backend import BACKENDS, parse_jobs, resolve_jobs
 from repro.toolchains.optlevels import ALL_LEVELS, OptLevel
 
-__all__ = ["ExperimentSettings"]
+__all__ = ["ExperimentSettings", "parse_shard"]
 
 
 def _env_int(name: str, default: int) -> int:
@@ -18,6 +19,39 @@ def _env_int(name: str, default: int) -> int:
         return int(raw)
     except ValueError as e:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from e
+
+
+def _env_jobs(name: str, default: int | str) -> int | str:
+    """An int worker count or the literal ``auto`` (one per CPU)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return parse_jobs(raw)
+    except ValueError as e:
+        raise ValueError(f"{name}: {e}") from e
+
+
+def parse_shard(spec: str | None) -> tuple[int, int]:
+    """Parse ``"i/n"`` into ``(shard_index, shard_count)``; None -> (0, 1).
+
+    Accepts both 0-based ``0/4 .. 3/4`` — the engine's native convention —
+    and nothing else: ``i`` must satisfy ``0 <= i < n``.
+    """
+    if spec is None or spec == "":
+        return (0, 1)
+    parts = spec.split("/")
+    if len(parts) != 2:
+        raise ValueError(f"shard must look like 'i/n', got {spec!r}")
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError as e:
+        raise ValueError(f"shard must look like 'i/n', got {spec!r}") from e
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, n) with n >= 1, got {spec!r}"
+        )
+    return (index, count)
 
 
 @dataclass(frozen=True)
@@ -42,7 +76,12 @@ class ExperimentSettings:
         default_factory=lambda: _env_int("REPRO_CODEBLEU_PAIRS", 1500)
     )
     #: campaign-engine workers for the per-program compile+execute matrix
-    jobs: int = field(default_factory=lambda: _env_int("REPRO_JOBS", 1))
+    #: (``REPRO_JOBS``: an int, or ``auto`` for one worker per CPU)
+    jobs: int | str = field(default_factory=lambda: _env_jobs("REPRO_JOBS", 1))
+    #: execution backend: serial / thread / process (``REPRO_BACKEND``)
+    backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND", "thread")
+    )
     #: content-addressed compile cache (``REPRO_CACHE=0`` disables)
     compile_cache: bool = field(
         default_factory=lambda: _env_int("REPRO_CACHE", 1) != 0
@@ -51,11 +90,24 @@ class ExperimentSettings:
     cache_capacity: int = field(
         default_factory=lambda: _env_int("REPRO_CACHE_CAPACITY", 4096)
     )
+    #: budget shard ``"i/n"`` (``REPRO_SHARD``); empty = the whole budget
+    shard: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_SHARD") or None
+    )
+    #: directory of per-approach JSONL checkpoints (``REPRO_CHECKPOINT_DIR``);
+    #: unset = no persistence.  Re-running with the same settings resumes.
+    checkpoint_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_CHECKPOINT_DIR") or None
+    )
 
     def __post_init__(self) -> None:
         if self.budget <= 0:
             raise ValueError("budget must be positive")
-        if self.jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        resolve_jobs(self.jobs)  # validates int >= 1 or "auto"
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        parse_shard(self.shard)  # validates "i/n"

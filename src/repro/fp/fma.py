@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 
-from repro.fp.formats import FP32, FP64, FloatFormat
+from repro.fp.formats import FP64, FloatFormat
 
 __all__ = ["round_scaled_int", "fma"]
 

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 
 from repro.fp.bits import double_to_bits
-from repro.fp.formats import FP32, FP64, FloatFormat
+from repro.fp.formats import FP64, FloatFormat
 from repro.fp.ulp import offset_by_ulps
 
 __all__ = [

@@ -7,7 +7,7 @@ so the AST stays immutable and shareable between pipelines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.frontend.ctypes import CType

@@ -6,7 +6,7 @@ The spec is both data (the structural limits generators respect) and text
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fp.formats import Precision
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.fp.formats import Precision
 from repro.generation.llm.base import GenerationConfig, LatencyModel
 from repro.generation.llm.codegen import ProgramSynthesizer
 from repro.generation.llm.mutator import Mutator

@@ -9,7 +9,6 @@ placeholders; Type-2c renames identifiers *consistently* (same source name
 
 from __future__ import annotations
 
-from repro.errors import LexError
 from repro.frontend.lexer import tokenize
 from repro.frontend.tokens import Token, TokenKind
 

@@ -1,7 +1,15 @@
-"""The staged campaign engine: determinism, caching, sharing, stages."""
+"""The staged campaign engine: determinism, caching, sharing, stages,
+backends, sharding."""
 
 import pytest
 
+from repro.difftest.backend import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+    resolve_jobs,
+)
 from repro.difftest.config import CampaignConfig
 from repro.difftest.engine import (
     CampaignEngine,
@@ -11,6 +19,7 @@ from repro.difftest.engine import (
     _diffing_digits,
 )
 from repro.difftest.harness import DifferentialHarness, run_campaign
+from repro.difftest.store import merge_shards
 from repro.experiments.approaches import make_generator
 from repro.fp.bits import double_to_hex
 from repro.generation.program import GeneratedProgram
@@ -117,6 +126,110 @@ class TestDeterminism:
         compilers = [GccCompiler(), ClangCompiler(), NvccCompiler()]
         shimmed = run_campaign(generator, compilers, CampaignConfig(budget=8))
         assert result_key(shimmed) == result_key(run_with(EngineConfig()))
+
+
+class TestBackendEquivalence:
+    """The tentpole property: serial, thread and process backends produce
+    byte-for-byte identical campaigns; only wall-clock differs."""
+
+    def test_serial_thread_process_identical(self):
+        serial = run_with(EngineConfig(backend="serial", jobs=1), budget=6)
+        thread = run_with(EngineConfig(backend="thread", jobs=4), budget=6)
+        process = run_with(EngineConfig(backend="process", jobs=2), budget=6)
+        assert result_key(serial) == result_key(thread)
+        assert result_key(serial) == result_key(process)
+
+    def test_process_with_llm_approach_identical(self):
+        serial = run_with(
+            EngineConfig(backend="serial", jobs=1), approach="llm4fp", budget=5
+        )
+        process = run_with(
+            EngineConfig(backend="process", jobs=2), approach="llm4fp", budget=5
+        )
+        assert result_key(serial) == result_key(process)
+
+    def test_process_backend_no_pool_for_single_job(self):
+        # jobs=1 must never spawn a pool: run_kernels goes inline
+        backend = ProcessBackend(jobs=1)
+        assert backend.run_kernels([]) == []
+        assert backend._pool is None
+        backend.shutdown()
+
+    def test_jobs_auto_resolves_to_cpu_count(self):
+        import os
+
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+        assert EngineConfig(jobs="auto").resolved_jobs == (os.cpu_count() or 1)
+
+    def test_create_backend_types(self):
+        assert isinstance(create_backend("serial", 1), SerialBackend)
+        assert isinstance(create_backend("thread", 2), ThreadBackend)
+        assert isinstance(create_backend("process", 2), ProcessBackend)
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("fork-bomb", 2)
+        with pytest.raises(ValueError, match="serial backend"):
+            create_backend("serial", 2)
+
+    def test_backend_config_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            EngineConfig(backend="greenlet")
+        with pytest.raises(ValueError, match="serial backend"):
+            EngineConfig(backend="serial", jobs=4)
+        with pytest.raises(ValueError, match="jobs"):
+            EngineConfig(jobs="many")
+
+
+class TestSharding:
+    def test_shard_union_identical_to_unsharded(self):
+        unsharded = run_with(EngineConfig(), budget=8)
+        shards = [
+            run_with(EngineConfig(shard_index=i, shard_count=3), budget=8)
+            for i in range(3)
+        ]
+        # disjoint coverage: every index exactly once across shards
+        indices = sorted(o.index for r in shards for o in r.outcomes)
+        assert indices == list(range(8))
+        merged = merge_shards(shards)
+        assert result_key(merged) == result_key(unsharded)
+        assert merged.shard_count == 1 and merged.budget == 8
+
+    def test_shard_counters_sum_to_unsharded(self):
+        unsharded = run_with(EngineConfig(), budget=6)
+        shards = [
+            run_with(EngineConfig(shard_index=i, shard_count=2), budget=6)
+            for i in range(2)
+        ]
+        merged = merge_shards(shards)
+        assert merged.total_runs == unsharded.total_runs
+        assert merged.triggering_programs == unsharded.triggering_programs
+
+    def test_feedback_generator_rejected(self):
+        with pytest.raises(ValueError, match="feedback"):
+            run_with(
+                EngineConfig(shard_index=0, shard_count=2),
+                approach="llm4fp",
+                budget=4,
+            )
+
+    def test_shard_config_validation(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            EngineConfig(shard_count=0)
+        with pytest.raises(ValueError, match="shard_index"):
+            EngineConfig(shard_index=2, shard_count=2)
+        with pytest.raises(ValueError, match="shard_index"):
+            EngineConfig(shard_index=-1, shard_count=2)
+
+    def test_merge_rejects_incomplete_or_duplicate_sets(self):
+        shards = [
+            run_with(EngineConfig(shard_index=i, shard_count=2), budget=4)
+            for i in range(2)
+        ]
+        with pytest.raises(ValueError, match="missing"):
+            merge_shards(shards[:1])
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_shards([shards[0], shards[0]])
+        with pytest.raises(ValueError, match="at least one"):
+            merge_shards([])
 
 
 class _Repeat:

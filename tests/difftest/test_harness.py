@@ -6,7 +6,7 @@ from repro.difftest.config import CampaignConfig
 from repro.difftest.harness import DifferentialHarness, run_campaign
 from repro.difftest.report import CampaignReport
 from repro.generation.program import GeneratedProgram
-from repro.toolchains import ClangCompiler, GccCompiler, NvccCompiler, OptLevel
+from repro.toolchains import ClangCompiler, GccCompiler, NvccCompiler
 from repro.utils.rng import SplittableRng
 
 TRANSCENDENTAL = """

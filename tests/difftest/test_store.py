@@ -1,0 +1,342 @@
+"""The campaign checkpoint store: bit-exact round-trips, crash recovery,
+resume, header validation."""
+
+import json
+import math
+
+import pytest
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import CampaignEngine, EngineConfig
+from repro.difftest.record import ComparisonRecord, ProgramOutcome
+from repro.difftest.store import (
+    CampaignStore,
+    CampaignStoreError,
+    decode_outcome,
+    encode_outcome,
+    load_result,
+    merge_shards,
+)
+from repro.experiments.approaches import make_generator
+from repro.fp.bits import double_to_bits
+from repro.generation.program import GeneratedProgram
+from repro.toolchains import GccCompiler, NvccCompiler, OptLevel, default_compilers
+from repro.utils.rng import SplittableRng
+
+from test_engine import result_key
+
+
+def _bits(v):
+    return None if v is None else double_to_bits(v)
+
+
+def _outcome_bits(o):
+    """Every float observable as raw bits (NaN- and signed-zero-safe)."""
+    return (
+        o.index,
+        o.program.source,
+        tuple(
+            tuple(_bits(x) for x in v) if isinstance(v, tuple) else (type(v), _bits(float(v)))
+            for v in o.program.inputs
+        ),
+        o.program.meta,
+        o.compiled,
+        o.ran,
+        o.signatures,
+        {k: _bits(v) for k, v in o.values.items()},
+        [
+            (c.program_index, c.compiler_a, c.compiler_b, c.level,
+             c.consistent, _bits(c.value_a), _bits(c.value_b), c.digit_diff)
+            for c in o.comparisons
+        ],
+        o.triggered,
+    )
+
+
+def make_outcome(index=3):
+    """An outcome exercising the awkward encodings: NaN, infinities,
+    signed zero, int scalars, float arrays, sentinel None values."""
+    program = GeneratedProgram(
+        source='void compute(double a) { printf("%.17g\\n", a); }',
+        inputs=(1.5, -0.0, 7, (0.1, float("inf"), -2.5e-308)),
+        meta={"strategy": "grammar", "index": index},
+    )
+    return ProgramOutcome(
+        index=index,
+        program=program,
+        compiled={"gcc/O0": True, "nvcc/O3": False},
+        ran={"gcc/O0": True},
+        triggered=True,
+        signatures={"gcc/O0": "7ff8000000000000"},
+        values={"gcc/O0": float("nan"), "clang/O2": -0.0},
+        comparisons=[
+            ComparisonRecord(index, "gcc", "clang", OptLevel.O2, True),
+            ComparisonRecord(
+                index, "gcc", "nvcc", OptLevel.O3_FASTMATH, False,
+                value_a=float("-inf"), value_b=float("nan"), digit_diff=13,
+            ),
+            ComparisonRecord(
+                index, "clang", "nvcc", OptLevel.O0, False,
+                value_a=None, value_b=1.0, digit_diff=0,
+            ),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_outcome_round_trips_bit_exactly(self):
+        outcome = make_outcome()
+        decoded = decode_outcome(encode_outcome(outcome))
+        assert _outcome_bits(decoded) == _outcome_bits(outcome)
+
+    def test_encoding_is_json_serializable(self):
+        line = json.dumps(encode_outcome(make_outcome()))
+        assert _outcome_bits(decode_outcome(json.loads(line))) == _outcome_bits(
+            make_outcome()
+        )
+
+    def test_int_inputs_stay_ints(self):
+        decoded = decode_outcome(encode_outcome(make_outcome()))
+        assert decoded.program.inputs[2] == 7
+        assert type(decoded.program.inputs[2]) is int
+        assert type(decoded.program.inputs[0]) is float
+
+    def test_signed_zero_and_nan_preserved(self):
+        decoded = decode_outcome(encode_outcome(make_outcome()))
+        assert math.copysign(1.0, decoded.values["clang/O2"]) == -1.0
+        assert math.isnan(decoded.values["gcc/O0"])
+
+
+HEADER = {
+    "approach": "t",
+    "budget": 2,
+    "levels": ["O0"],
+    "compilers": ["gcc", "nvcc"],
+    "seed": 1,
+    "max_steps": 10,
+    "shard_index": 0,
+    "shard_count": 1,
+}
+
+
+class TestStoreFile:
+    def test_open_append_reload(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        assert store.open(HEADER) == {}
+        store.append(make_outcome(0))
+        store.append(make_outcome(1))
+        done = CampaignStore(store.path).open(HEADER)
+        assert sorted(done) == [0, 1]
+        assert _outcome_bits(done[1]) == _outcome_bits(make_outcome(1))
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = CampaignStore(tmp_path / "deep" / "nested" / "c.jsonl")
+        store.open(HEADER)
+        assert store.path.exists()
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        store.open(HEADER)
+        other = dict(HEADER, seed=2)
+        with pytest.raises(CampaignStoreError, match="different campaign"):
+            CampaignStore(store.path).open(other)
+
+    def test_crash_tail_truncated_and_recovered(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        store.open(HEADER)
+        store.append(make_outcome(0))
+        # simulate a crash mid-append: a half-written record at EOF
+        with store.path.open("a", encoding="utf-8") as f:
+            f.write('{"kind": "outcome", "index": 1, "progr')
+        done = CampaignStore(store.path).open(HEADER)
+        assert sorted(done) == [0]
+        # the partial line is gone; appending again yields a clean file
+        store2 = CampaignStore(store.path)
+        store2.open(HEADER)
+        store2.append(make_outcome(1))
+        assert sorted(CampaignStore(store.path).open(HEADER)) == [0, 1]
+
+    def test_refuses_to_overwrite_foreign_file(self, tmp_path):
+        # --resume pointed at a file that is not a checkpoint must never
+        # destroy it
+        path = tmp_path / "notes.txt"
+        path.write_text("important non-JSON notes\n")
+        with pytest.raises(CampaignStoreError, match="refusing to overwrite"):
+            CampaignStore(path).open(HEADER)
+        assert path.read_text() == "important non-JSON notes\n"
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.jsonl")
+        store.open(HEADER)
+        with store.path.open("a", encoding="utf-8") as f:
+            f.write('{"kind": "mystery"}\n')
+        with pytest.raises(CampaignStoreError, match="mystery"):
+            CampaignStore(store.path).open(HEADER)
+
+
+class _KillAfter:
+    """Progress callback that dies after n completed programs."""
+
+    class Dead(RuntimeError):
+        pass
+
+    def __init__(self, n):
+        self.remaining = n
+
+    def __call__(self, index, outcome):
+        self.remaining -= 1
+        if self.remaining == 0:
+            raise self.Dead(f"killed at program {index}")
+
+
+def _engine(budget, engine_config=None):
+    return CampaignEngine(
+        default_compilers(),
+        CampaignConfig(budget=budget),
+        engine_config or EngineConfig(),
+    )
+
+
+def _generator(approach="varity", seed=123):
+    return make_generator(approach, SplittableRng(seed, f"engine-{approach}"))
+
+
+class TestResume:
+    @pytest.mark.parametrize("approach", ["varity", "llm4fp"])
+    def test_killed_campaign_resumes_bit_identically(self, tmp_path, approach):
+        budget = 6
+        baseline = _engine(budget).run(_generator(approach))
+        path = tmp_path / "campaign.jsonl"
+        with pytest.raises(_KillAfter.Dead):
+            _engine(budget).run(
+                _generator(approach),
+                progress=_KillAfter(3),
+                store=CampaignStore(path),
+            )
+        checkpointed = sum(1 for _ in path.open()) - 1  # minus header
+        assert checkpointed == 3
+        resumed = _engine(budget).run(
+            _generator(approach), store=CampaignStore(path)
+        )
+        assert result_key(resumed) == result_key(baseline)
+        # the full campaign is now checkpointed
+        assert sorted(CampaignStore(path).open(
+            _engine(budget)._store_header(baseline)
+        )) == list(range(budget))
+
+    def test_resume_skips_recompute(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        _engine(4).run(_generator(), store=CampaignStore(path))
+        fresh = _engine(4)
+        result = fresh.run(_generator(), store=CampaignStore(path))
+        # everything replayed from the store: no compiles, no executions
+        assert result.total_runs == 0
+        assert result.cache_misses == 0
+        assert len(result.outcomes) == 4
+
+    def test_wrong_seed_store_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        _engine(4).run(_generator(seed=123), store=CampaignStore(path))
+        with pytest.raises(CampaignStoreError, match="different campaign"):
+            CampaignEngine(
+                default_compilers(),
+                CampaignConfig(budget=4, seed=999),
+                EngineConfig(),
+            ).run(_generator(seed=999), store=CampaignStore(path))
+
+    def test_replay_source_mismatch_detected(self, tmp_path):
+        # same campaign identity, different stored program => corruption
+        path = tmp_path / "campaign.jsonl"
+        engine = _engine(4)
+        engine.run(_generator(), store=CampaignStore(path))
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["program"]["source"] = "void compute(double x) {}"
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="checkpoint mismatch"):
+            _engine(4).run(_generator(), store=CampaignStore(path))
+
+    def test_sharded_resume(self, tmp_path):
+        budget = 6
+        config = EngineConfig(shard_index=1, shard_count=2)
+        baseline = _engine(budget, config).run(_generator())
+        path = tmp_path / "shard1.jsonl"
+        with pytest.raises(_KillAfter.Dead):
+            _engine(budget, config).run(
+                _generator(), progress=_KillAfter(2), store=CampaignStore(path)
+            )
+        resumed = _engine(budget, config).run(
+            _generator(), store=CampaignStore(path)
+        )
+        assert result_key(resumed) == result_key(baseline)
+
+
+class TestLoadResult:
+    """The multi-machine half of sharding: checkpoints reload into
+    CampaignResults that merge bit-identically."""
+
+    def test_sharded_checkpoints_load_and_merge(self, tmp_path):
+        budget = 6
+        unsharded = _engine(budget).run(_generator())
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"shard{i}.jsonl"
+            _engine(
+                budget, EngineConfig(shard_index=i, shard_count=2)
+            ).run(_generator(), store=CampaignStore(path))
+            paths.append(path)
+        loaded = [load_result(p) for p in paths]
+        assert [r.shard_index for r in loaded] == [0, 1]
+        merged = merge_shards(loaded)
+        assert result_key(merged) == result_key(unsharded)
+
+    def test_loaded_result_matches_in_memory(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        in_memory = _engine(4).run(_generator(), store=CampaignStore(path))
+        assert result_key(load_result(path)) == result_key(in_memory)
+
+    def test_load_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("not a checkpoint\n")
+        with pytest.raises(CampaignStoreError, match="not a campaign checkpoint"):
+            load_result(path)
+
+    def test_cli_merge_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        budget = 6
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"shard{i}.jsonl"
+            _engine(
+                budget, EngineConfig(shard_index=i, shard_count=2)
+            ).run(_generator(), store=CampaignStore(path))
+            paths.append(str(path))
+        assert main(["merge", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "shards merged:        2" in out
+        assert "programs:             6" in out
+
+
+class TestValidationHelpers:
+    def test_unsupported_input_type_rejected(self):
+        from repro.difftest.store import _enc_input
+
+        with pytest.raises(CampaignStoreError, match="unsupported input"):
+            _enc_input("a string")
+
+    def test_level_round_trip(self):
+        for level in OptLevel:
+            assert OptLevel(str(level)) is level
+
+    def test_store_header_reflects_config(self):
+        engine = CampaignEngine(
+            [GccCompiler(), NvccCompiler()],
+            CampaignConfig(budget=3, seed=7),
+            EngineConfig(shard_index=0, shard_count=1),
+        )
+        result = engine.run(_generator())
+        header = engine._store_header(result)
+        assert header["budget"] == 3 and header["seed"] == 7
+        assert header["compilers"] == ["gcc", "nvcc"]

@@ -3,8 +3,6 @@
 import math
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.execution.interp import Interpreter, _c_printf
 from repro.execution.result import ExecStatus

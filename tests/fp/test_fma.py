@@ -3,13 +3,12 @@
 import math
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fp.bits import double_to_bits
 from repro.fp.fma import fma, round_scaled_int
-from repro.fp.formats import FP32, FP64
+from repro.fp.formats import FP32
 from repro.fp.ulp import next_down, next_up
 
 finite = st.floats(allow_nan=False, allow_infinity=False)

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fp.formats import FP32, FP64
+from repro.fp.formats import FP32
 from repro.fp.mathlib import (
     MATH_FUNCTIONS,
     CorrectlyRoundedLibm,

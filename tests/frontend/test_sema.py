@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SemaError
-from repro.frontend.ctypes import DOUBLE, INT
+from repro.frontend.ctypes import DOUBLE
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import SemaOptions, check_program
 

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ReproError
 from repro.frontend import ast
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program

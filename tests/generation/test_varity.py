@@ -1,6 +1,5 @@
 """Varity baseline generator: validity, determinism, character."""
 
-from repro.frontend import ast
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program
 from repro.generation.varity import VarityGenerator

@@ -1,6 +1,5 @@
 """AST -> IR lowering: conversions, renaming, compound ops."""
 
-import pytest
 
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program

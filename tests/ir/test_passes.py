@@ -6,7 +6,6 @@ import pytest
 
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program
-from repro.fp.mathlib import CorrectlyRoundedLibm
 from repro.ir import nodes as ir
 from repro.ir.lower import lower_compute
 from repro.ir.passes import (
