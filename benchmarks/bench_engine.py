@@ -21,7 +21,7 @@ but not asserted — there is no parallelism to buy).
 
 Run standalone for a report plus machine-readable results::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
+    python benchmarks/bench_engine.py --json BENCH_engine.json
 
 ``scripts/check_bench_regression.py`` compares that JSON against the
 committed baseline (``benchmarks/BENCH_engine_baseline.json``) and fails

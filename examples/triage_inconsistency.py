@@ -1,68 +1,56 @@
 """Scenario: triage one inconsistency like a compiler engineer would.
 
-Takes a known-triggering program, compiles it with every simulated
-(compiler, level) configuration, and prints the full 18-way output matrix:
-the hex encoding of each result, which configurations agree, and a
-per-level pairwise digit-difference breakdown.  This is the manual
-inspection step that follows a fuzzing campaign, and it demonstrates the
-library's toolchain API directly (no campaign harness involved).
+Takes a known-triggering program and walks the automatic triage flow
+(`repro.triage`): test it across the full (compiler, level) matrix,
+delta-debug it down to a minimal trigger, bisect the responsible
+toolchain's pass pipeline and FP-environment deltas to name exactly what
+flipped the comparison, and render the ranked triage report — the same
+pipeline `llm4fp triage` runs over campaign checkpoints.
+
+`--verbose` additionally prints the manual 18-way output matrix (hex
+encodings, agreement classes, pairwise digit differences) that this
+automation replaces.
 
 Usage:
-    python examples/triage_inconsistency.py
+    python examples/triage_inconsistency.py [--verbose]
 """
 
+import argparse
 from collections import defaultdict
 from itertools import combinations
 
+from repro import CampaignConfig, CampaignEngine, default_compilers
 from repro.difftest.compare import digit_difference
 from repro.fp.bits import double_to_hex
-from repro.toolchains import ALL_LEVELS, default_compilers
+from repro.toolchains import ALL_LEVELS
+from repro.triage import (
+    bisect_signature,
+    canonical_signature,
+    distilled_trigger,
+    reduce_program,
+    signatures_of,
+    triage_single,
+)
 
 #: A distilled trigger: a transcendental feeding an FMA-shaped update in a
 #: loop — host/device libm differences plus device-only FMA contraction.
-PROGRAM = """
-#include <stdio.h>
-#include <stdlib.h>
-#include <math.h>
-
-void compute(double x, double scale, int steps) {
-  double comp = 0.0;
-  double k = sin(0.731);
-  for (int i = 0; i < steps; ++i) {
-    comp += sin(x + i) * scale + k;
-  }
-  printf("%.17g\\n", comp);
-}
-
-int main(int argc, char **argv) {
-  compute(atof(argv[1]), atof(argv[2]), atoi(argv[3]));
-  return 0;
-}
-"""
-
-INPUTS = (0.37, 1.91, 23)
+PROGRAM = distilled_trigger()
 
 
-def main() -> None:
+def manual_matrix() -> None:
+    """The hand-inspection step the triage subsystem automates."""
     compilers = default_compilers()
-    print("program under triage:")
-    print(PROGRAM)
-    print(f"inputs: {INPUTS}")
-    print()
-
-    # Full output matrix.
     results: dict[tuple[str, object], float] = {}
     print(f"{'config':<20} {'hex encoding':<18} value")
     print("-" * 60)
     for compiler in compilers:
         for level in ALL_LEVELS:
-            binary = compiler.compile_source(PROGRAM, level)
-            run = binary.run(INPUTS)
+            binary = compiler.compile_source(PROGRAM.source, level)
+            run = binary.run(PROGRAM.inputs)
             assert run.ok, run.error
             results[(compiler.name, level)] = run.value
             print(f"{binary.label:<20} {double_to_hex(run.value):<18} {run.value!r}")
 
-    # Equivalence classes per level.
     print()
     print("agreement classes per level:")
     for level in ALL_LEVELS:
@@ -73,7 +61,6 @@ def main() -> None:
         desc = "  ".join("{" + ",".join(names) + "}" for names in classes.values())
         print(f"  {str(level):<12} {desc}")
 
-    # Digit differences between compiler pairs.
     print()
     print("pairwise digit differences (of 16 hex digits):")
     for level in ALL_LEVELS:
@@ -85,11 +72,59 @@ def main() -> None:
             cells.append(f"{ca.name}-{cb.name}:{d}")
         print(f"  {str(level):<12} " + "  ".join(cells))
 
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print the manual 18-way output matrix",
+    )
+    args = parser.parse_args()
+
+    compilers = default_compilers()
+    print("program under triage:")
+    print(PROGRAM.source)
+    print(f"inputs: {PROGRAM.inputs}")
     print()
-    print("reading the matrix: host compilers agree with each other at")
-    print("O0 (same glibc model, no folding yet), nvcc differs everywhere")
-    print("(CUDA libm + default FMA contraction), and O3_fastmath splits")
-    print("the hosts too (different reassociation orders).")
+
+    if args.verbose:
+        manual_matrix()
+        print()
+
+    # 1. Detect: one pass through the full (compiler, level) matrix.
+    engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+    outcome = engine.test_program(0, PROGRAM)
+    assert outcome.triggered, "the distilled trigger should diverge"
+    sigs = signatures_of(outcome)
+    print(f"divergent cells ({len(sigs)}):")
+    for sig in sigs:
+        print(f"  {sig.label()}")
+
+    # 2. Reduce: shrink while the canonical cell keeps the same kind.
+    target = canonical_signature(outcome)
+    print()
+    print(f"reducing against {target.label()} ...")
+    reduction = reduce_program(PROGRAM.source, PROGRAM.inputs, target, compilers)
+    print(
+        f"  {reduction.original_nodes} -> {reduction.reduced_nodes} AST nodes "
+        f"({reduction.accepted_edits} edits, {reduction.tests} oracle tests)"
+    )
+    print()
+    print(reduction.reduced_source)
+
+    # 3. Bisect: name the first pass / env delta that flips the comparison.
+    bisection = bisect_signature(PROGRAM.source, PROGRAM.inputs, target, compilers)
+    print(f"bisection of {target.cell}:")
+    for line in bisection.trace:
+        print(f"  {line}")
+    print(f"  => responsible: {bisection.responsible}")
+    if bisection.env_delta is not None:
+        print(f"  => environment delta: {bisection.env_delta.label()}")
+
+    # 4. Cluster: the ranked report `llm4fp triage` would emit.
+    report = triage_single(outcome, compilers, label="example")
+    print()
+    print(report.render(show_traces=False), end="")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+"""Smoke-run every script under examples/ against the installed package.
+
+Examples are documentation that executes; without CI coverage they rot
+silently (stale imports, renamed APIs).  This driver discovers
+``examples/*.py`` so a new example is covered the moment it lands: known
+scripts run with small budgets (CI-friendly seconds, not minutes),
+unknown ones run with no arguments.  Any non-zero exit fails the job.
+
+    python scripts/run_examples.py            # all examples
+    python scripts/run_examples.py quickstart # substring filter
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+#: Small-budget arguments per example (argv after the script name).
+#: Discovered examples without an entry run with no arguments.
+ARGS: dict[str, list[str]] = {
+    "quickstart.py": ["12", "1"],
+    "compare_compilers.py": ["12", "1"],
+    "mutation_campaign.py": ["12", "1"],
+    "precision_sweep.py": ["8", "1"],
+    "triage_inconsistency.py": [],
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    needle = args[0] if args else ""
+    examples_dir = Path(__file__).resolve().parent.parent / "examples"
+    scripts = sorted(examples_dir.glob("*.py"))
+    if not scripts:
+        print(f"no examples found under {examples_dir}", file=sys.stderr)
+        return 2
+    failures = []
+    for script in scripts:
+        if needle and needle not in script.name:
+            continue
+        cmd = [sys.executable, str(script), *ARGS.get(script.name, [])]
+        print(f"==> {' '.join(cmd[1:])}", flush=True)
+        start = time.perf_counter()
+        proc = subprocess.run(cmd)
+        elapsed = time.perf_counter() - start
+        status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
+        print(f"<== {script.name}: {status} in {elapsed:.1f}s", flush=True)
+        if proc.returncode != 0:
+            failures.append(script.name)
+    if failures:
+        print(f"\n{len(failures)} example(s) failed: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,13 @@ from repro.experiments.approaches import APPROACHES, make_generator
 from repro.fp.formats import Precision
 from repro.generation import SimLLM, VarityGenerator
 from repro.toolchains import default_compilers, OptLevel
+from repro.triage import (
+    TriageReport,
+    bisect_signature,
+    reduce_program,
+    triage_campaign,
+    triage_results,
+)
 from repro.utils.rng import SplittableRng
 
 __version__ = "1.0.0"
@@ -42,4 +49,9 @@ __all__ = [
     "default_compilers",
     "OptLevel",
     "SplittableRng",
+    "TriageReport",
+    "bisect_signature",
+    "reduce_program",
+    "triage_campaign",
+    "triage_results",
 ]

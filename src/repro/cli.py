@@ -2,6 +2,7 @@
 
     llm4fp run --approach llm4fp --budget 100 --seed 1
     llm4fp tables table2 table5
+    llm4fp triage campaign.jsonl
     llm4fp show-prompt grammar
 """
 
@@ -17,13 +18,14 @@ from repro.difftest.harness import run_campaign
 from repro.difftest.record import ProgramOutcome
 from repro.difftest.report import CampaignReport
 from repro.difftest.store import CampaignStore, load_result, merge_shards
-from repro.experiments import table2, table3, table4, table5, figure3
+from repro.experiments import table2, table3, table4, table5, figure3, triage_summary
 from repro.experiments.approaches import APPROACHES, make_generator
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.settings import ExperimentSettings, parse_shard
 from repro.fp.formats import Precision
 from repro.generation.prompts import direct_prompt, grammar_prompt, mutation_prompt
 from repro.toolchains import default_compilers
+from repro.triage.reduce import DEFAULT_MAX_TESTS
 from repro.utils.rng import SplittableRng
 from repro.utils.timing import format_hms
 
@@ -33,6 +35,7 @@ _TABLES = {
     "table4": table4.run,
     "table5": table5.run,
     "figure3": figure3.run,
+    "triage": triage_summary.run,
 }
 
 
@@ -181,6 +184,69 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_inputs(spec: str) -> tuple:
+    """``"0.37,1.91,23"`` -> ``(0.37, 1.91, 23)`` (ints stay ints)."""
+    values: list = []
+    for token in spec.replace(",", " ").split():
+        try:
+            values.append(int(token))
+        except ValueError:
+            try:
+                values.append(float(token))
+            except ValueError as e:
+                raise argparse.ArgumentTypeError(
+                    f"inputs must be numbers, got {token!r}"
+                ) from e
+    if not values:
+        raise argparse.ArgumentTypeError("inputs must name at least one value")
+    return tuple(values)
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    """Reduce -> bisect -> cluster triggering programs into a ranked report."""
+    from repro.difftest.engine import CampaignEngine
+    from repro.generation.program import GeneratedProgram
+    from repro.triage import distilled_trigger, triage_results, triage_single
+
+    sources = bool(args.checkpoints) + (args.program is not None) + args.demo
+    if sources != 1:
+        print(
+            "triage needs exactly one input: checkpoint file(s), "
+            "--program FILE --inputs ..., or --demo",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = dict(reduce=not args.no_reduce, max_reduce_tests=args.max_reduce_tests)
+    if args.checkpoints:
+        results = [(path, load_result(path)) for path in args.checkpoints]
+        report = triage_results(results, **kwargs)
+    else:
+        if args.demo:
+            program, label = distilled_trigger(), "demo"
+        else:
+            if args.inputs is None:
+                print("--program requires --inputs", file=sys.stderr)
+                return 2
+            with open(args.program, encoding="utf-8") as f:
+                source = f.read()
+            program = GeneratedProgram(source=source, inputs=args.inputs)
+            label = args.program
+        engine = CampaignEngine(default_compilers(), CampaignConfig(budget=1))
+        outcome = engine.test_program(0, program)
+        if not outcome.triggered:
+            print(f"{label}: no inconsistency on the given inputs", file=sys.stderr)
+            return 1
+        report = triage_single(outcome, label=label, **kwargs)
+    text = report.render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_show_prompt(args: argparse.Namespace) -> int:
     if args.kind == "direct":
         print(direct_prompt(Precision.DOUBLE))
@@ -281,6 +347,51 @@ def main(argv: list[str] | None = None) -> int:
         help="one completed checkpoint file per shard (all n of them)",
     )
     p_merge.set_defaults(func=_cmd_merge)
+
+    p_triage = sub.add_parser(
+        "triage",
+        help="reduce, bisect and cluster triggering programs",
+        description="Automatic triage of campaign findings: delta-debug "
+        "each triggering program down to a minimal trigger, bisect the "
+        "responsible toolchain's pass pipeline and FP-environment deltas "
+        "to name what flipped the comparison, and dedupe everything into "
+        "a ranked report.  Input is one or more campaign checkpoints "
+        "(written by `run --resume` or `tables --checkpoint-dir`), a raw "
+        "C file with --program/--inputs, or the built-in --demo trigger.  "
+        "The report is deterministic: two runs over the same input are "
+        "byte-identical.",
+    )
+    p_triage.add_argument(
+        "checkpoints", nargs="*", metavar="CHECKPOINT.jsonl",
+        help="campaign checkpoint file(s); triggers from all of them are "
+        "clustered together",
+    )
+    p_triage.add_argument(
+        "--program", default=None, metavar="FILE.c",
+        help="triage one raw trigger program instead of a checkpoint",
+    )
+    p_triage.add_argument(
+        "--inputs", type=_parse_inputs, default=None, metavar="V,V,...",
+        help="input vector for --program (one value per compute parameter)",
+    )
+    p_triage.add_argument(
+        "--demo", action="store_true",
+        help="triage the built-in distilled demonstration trigger",
+    )
+    p_triage.add_argument(
+        "--no-reduce", action="store_true",
+        help="skip delta-debugging reduction (bisect + cluster only)",
+    )
+    p_triage.add_argument(
+        "--max-reduce-tests", type=int, default=DEFAULT_MAX_TESTS, metavar="N",
+        help="oracle-evaluation budget per reduction "
+        f"(default {DEFAULT_MAX_TESTS})",
+    )
+    p_triage.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    p_triage.set_defaults(func=_cmd_triage)
 
     p_show = sub.add_parser("show-prompt", help="print one of the paper's prompts")
     p_show.add_argument("kind", choices=("direct", "grammar", "mutation"))

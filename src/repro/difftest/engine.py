@@ -94,6 +94,7 @@ __all__ = [
     "ExecuteRecord",
     "CampaignEngine",
     "STAGES",
+    "frontend_kernels",
 ]
 
 #: Stage names in pipeline order (the report's time buckets).
@@ -203,6 +204,35 @@ class _BinaryRun:
     signature: str | None
     value: float | None
     printed: tuple[float, ...] = ()
+
+
+def frontend_kernels(source: str) -> FrontendRecord:
+    """Front-end ``source`` once per target kind (§2.4).
+
+    Host compilers share the C parse/sema/lowering; the device compiler
+    gets the CUDA translation of the same unit.  A front-end failure for a
+    kind fails all its compilations, recorded per-kind in ``errors``.
+    Shared by the engine's frontend stage and by the triage subsystem
+    (reduction re-validation and pass-pipeline bisection replay).
+    """
+    record = FrontendRecord()
+    try:
+        unit = parse_program(source)
+        sema = check_program(unit)
+        record.kernels[CompilerKind.HOST] = lower_compute(sema)
+    except ReproError as e:
+        record.errors[CompilerKind.HOST] = str(e)
+        record.errors.setdefault(CompilerKind.DEVICE, str(e))
+        return record
+    try:
+        cuda_unit = translate_to_cuda(unit)
+        cuda_sema = check_program(cuda_unit)
+        record.kernels[CompilerKind.DEVICE] = lower_compute(cuda_sema)
+    except ReproError as e:
+        record.errors[CompilerKind.DEVICE] = str(e)
+    for kind, kernel in record.kernels.items():
+        record.fingerprints[kind] = kernel_fingerprint(kernel)
+    return record
 
 
 def _check_replay(
@@ -404,29 +434,7 @@ class CampaignEngine:
     # -- frontend stage ----------------------------------------------------------
 
     def _frontend_stage(self, source: str) -> FrontendRecord:
-        """Front-end the program once per target kind (§2.4).
-
-        A front-end failure for a kind fails all its compilations, recorded
-        per-cell by the compile stage.
-        """
-        record = FrontendRecord()
-        try:
-            unit = parse_program(source)
-            sema = check_program(unit)
-            record.kernels[CompilerKind.HOST] = lower_compute(sema)
-        except ReproError as e:
-            record.errors[CompilerKind.HOST] = str(e)
-            record.errors.setdefault(CompilerKind.DEVICE, str(e))
-            return record
-        try:
-            cuda_unit = translate_to_cuda(unit)
-            cuda_sema = check_program(cuda_unit)
-            record.kernels[CompilerKind.DEVICE] = lower_compute(cuda_sema)
-        except ReproError as e:
-            record.errors[CompilerKind.DEVICE] = str(e)
-        for kind, kernel in record.kernels.items():
-            record.fingerprints[kind] = kernel_fingerprint(kernel)
-        return record
+        return frontend_kernels(source)
 
     # -- compile stage -----------------------------------------------------------
 

@@ -115,6 +115,12 @@ class CampaignResult:
         return sum(1 for o in self.outcomes if o.triggered)
 
     @property
+    def triggering_outcomes(self) -> list[ProgramOutcome]:
+        """The outcomes the triage subsystem consumes: every program that
+        exhibited at least one inconsistency, in budget-index order."""
+        return [o for o in self.outcomes if o.triggered]
+
+    @property
     def sources(self) -> list[str]:
         return [o.program.source for o in self.outcomes]
 

@@ -215,3 +215,17 @@ class CampaignReport:
     def digit_stats_overall(self) -> DigitStats:
         diffs = [c.digit_diff for c in self.result.comparisons if not c.consistent]
         return DigitStats.of(diffs)
+
+    # -- triage (reduce -> bisect -> cluster) ----------------------------------------------
+
+    def triage(self, compilers=None, reduce: bool = True, **kwargs):
+        """Triage this campaign's triggering programs into a ranked
+        :class:`~repro.triage.cluster.TriageReport`.
+
+        ``compilers`` defaults to :func:`~repro.toolchains.default_compilers`
+        and must cover every compiler name the campaign recorded.  Imported
+        lazily: triage builds on difftest, not the other way around.
+        """
+        from repro.triage.cluster import triage_campaign
+
+        return triage_campaign(self.result, compilers, reduce=reduce, **kwargs)

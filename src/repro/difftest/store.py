@@ -40,6 +40,7 @@ __all__ = [
     "CampaignStore",
     "CampaignStoreError",
     "load_result",
+    "load_triggers",
     "merge_shards",
     "encode_outcome",
     "decode_outcome",
@@ -273,6 +274,19 @@ def load_result(path: str | os.PathLike) -> CampaignResult:
         shard_index=header["shard_index"],
         shard_count=header["shard_count"],
     )
+
+
+def load_triggers(path: str | os.PathLike) -> list[ProgramOutcome]:
+    """The triggering programs persisted in a checkpoint, in index order.
+
+    Checkpoints record *every* completed program (that is what resume
+    needs); this convenience extracts just the ones that diverged, for
+    ad-hoc inspection and for feeding
+    :func:`repro.triage.triage_outcomes` directly.  (``llm4fp triage``
+    itself goes through :func:`load_result` because its report also
+    counts the non-triggering programs.)
+    """
+    return load_result(path).triggering_outcomes
 
 
 # -- shard merging ---------------------------------------------------------------

@@ -47,3 +47,8 @@ class StepLimitExceeded(ExecError):
 
 class GenerationError(ReproError):
     """Raised when a program generator cannot produce a valid candidate."""
+
+
+class TriageError(ReproError):
+    """Raised when a trigger cannot be triaged (not reproducible, unknown
+    compiler, or the targeted inconsistency is absent)."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import table2, table3, table4, table5, figure3
+from repro.experiments import table2, table3, table4, table5, figure3, triage_summary
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.settings import ExperimentSettings
 
@@ -19,6 +19,7 @@ _RUNNERS = {
     "table4": table4.run,
     "table5": table5.run,
     "figure3": figure3.run,
+    "triage": triage_summary.run,
 }
 
 

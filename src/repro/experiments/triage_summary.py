@@ -1,0 +1,93 @@
+"""Triage summary: the campaign-wide reduce -> bisect -> cluster table.
+
+Not a paper artefact — the paper stops at detection — but the closing
+step of its workflow: for every approach, how many triggering programs
+the campaign produced, how many *distinct* findings they dedupe to, and
+which optimization pass / FP-environment delta each top finding pins the
+divergence on.  Reduction is skipped here (delta debugging every trigger
+belongs in ``llm4fp triage``, not in a summary table); bisection is cheap
+because each (pair, pipeline-class) cell replays once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.approaches import APPROACHES
+from repro.experiments.runner import ExperimentContext
+from repro.utils.tables import TextTable
+
+__all__ = ["TriageSummaryRow", "compute", "render", "run"]
+
+
+@dataclass(frozen=True)
+class TriageSummaryRow:
+    approach: str
+    triggers: int
+    findings: int  # distinct clusters
+    top_count: int  # triggers in the largest cluster
+    top_kinds: str
+    top_responsible: str
+    top_env_delta: str
+
+
+def compute(ctx: ExperimentContext) -> list[TriageSummaryRow]:
+    """One row per approach, Table 2 order."""
+    from repro.triage.cluster import triage_campaign
+
+    rows: list[TriageSummaryRow] = []
+    for approach in APPROACHES:
+        result = ctx.campaign(approach)
+        report = triage_campaign(result, reduce=False)
+        if report.clusters:
+            top = report.clusters[0]
+            rep = top.representative
+            rows.append(
+                TriageSummaryRow(
+                    approach=approach,
+                    triggers=report.triggers,
+                    findings=len(report.clusters),
+                    top_count=top.count,
+                    top_kinds=" ".join(top.kinds),
+                    top_responsible=", ".join(top.responsibles),
+                    top_env_delta=", ".join(rep.env_deltas) or "-",
+                )
+            )
+        else:
+            rows.append(
+                TriageSummaryRow(approach, report.triggers, 0, 0, "-", "-", "-")
+            )
+    return rows
+
+
+def render(rows: list[TriageSummaryRow], budget: int) -> str:
+    table = TextTable(
+        [
+            "Approach",
+            "Triggers",
+            "Findings",
+            "Top (n)",
+            "Top Kinds",
+            "Top Responsible",
+            "Top Env Delta",
+        ],
+        title=f"Triage summary at budget N={budget} — triggering programs "
+        "deduplicated by (kind, responsible pass, divergent-cell pattern)",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.approach,
+                r.triggers,
+                r.findings,
+                r.top_count,
+                r.top_kinds,
+                r.top_responsible,
+                r.top_env_delta,
+            ]
+        )
+    return table.render()
+
+
+def run(ctx: ExperimentContext) -> str:
+    return render(compute(ctx), ctx.settings.budget)

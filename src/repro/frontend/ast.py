@@ -7,7 +7,7 @@ so the AST stays immutable and shareable between pipelines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import Union
 
 from repro.frontend.ctypes import CType
@@ -248,3 +248,89 @@ def stmt_exprs(s: Stmt):
         yield s.cond
     elif isinstance(s, Return) and s.value is not None:
         yield s.value
+
+
+# --------------------------------------------------------------------------- structural editing
+#
+# Nodes are frozen, so edits rebuild the spine from the root.  A *step* is
+# ``(field_name, index)`` — ``index`` is ``None`` for a direct child and a
+# tuple position for children stored in tuple-valued fields — and a *path*
+# is a tuple of steps from some root node.  The triage reducer uses these
+# to enumerate and apply candidate edits anywhere in a translation unit.
+
+#: Concrete classes of the Expr/Stmt unions, usable with ``isinstance``.
+EXPR_TYPES = (IntLit, FloatLit, StrLit, Ident, Unary, Binary, Ternary, Call, Index, Cast)
+STMT_TYPES = (Decl, Assign, IncDec, ExprStmt, Block, If, For, While, Return)
+
+Step = tuple[str, "int | None"]
+Path = tuple[Step, ...]
+
+
+def is_node(value: object) -> bool:
+    """Whether ``value`` is an AST node (a dataclass defined in this module)."""
+    return is_dataclass(value) and type(value).__module__ == __name__
+
+
+def child_steps(node):
+    """Yield ``(step, child)`` for every direct AST child of ``node``.
+
+    Children inside tuple-valued fields (block statements, call arguments,
+    declarators, ...) get an indexed step; scalar fields (types, names,
+    literal values) are skipped.
+    """
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if is_node(value):
+            yield (f.name, None), value
+        elif isinstance(value, tuple):
+            for i, item in enumerate(value):
+                if is_node(item):
+                    yield (f.name, i), item
+
+
+def child_at(node, step: Step):
+    """The child of ``node`` addressed by one step."""
+    name, index = step
+    value = getattr(node, name)
+    return value if index is None else value[index]
+
+
+def with_child(node, step: Step, new):
+    """``node`` with the child at ``step`` replaced by ``new``."""
+    name, index = step
+    if index is None:
+        return replace(node, **{name: new})
+    value = getattr(node, name)
+    return replace(node, **{name: value[:index] + (new,) + value[index + 1 :]})
+
+
+def node_at(root, path: Path):
+    """The node reached by following ``path`` from ``root``."""
+    for step in path:
+        root = child_at(root, step)
+    return root
+
+
+def replace_at(root, path: Path, new):
+    """``root`` with the node at ``path`` replaced by ``new`` (spine rebuilt)."""
+    if not path:
+        return new
+    child = child_at(root, path[0])
+    return with_child(root, path[0], replace_at(child, path[1:], new))
+
+
+def walk_paths(root, base: Path = ()):
+    """Yield ``(path, node)`` for ``root`` and every descendant, pre-order.
+
+    Paths are relative to ``root``; the traversal order is deterministic
+    (field order, then tuple position), which the triage reducer relies on
+    for reproducible minimal programs.
+    """
+    yield base, root
+    for step, child in child_steps(root):
+        yield from walk_paths(child, base + (step,))
+
+
+def node_count(root) -> int:
+    """Number of AST nodes in the subtree — the reducer's size metric."""
+    return sum(1 for _ in walk_paths(root))

@@ -1,0 +1,79 @@
+"""Automatic triage of campaign findings: reduce -> bisect -> cluster.
+
+The campaign engine (:mod:`repro.difftest.engine`) *detects* floating-point
+inconsistencies; this package turns the raw triggering programs into
+actionable findings, which the modeled toolchains make uniquely tractable
+— every compiler is an explicit pass pipeline bound to an explicit FP
+environment, so divergences can be attributed exactly:
+
+* :func:`reduce_program` — statement/expression-level delta debugging with
+  full front-end re-validation; the interesting-predicate is "same
+  inconsistency kind on the same compiler pair and level".
+* :func:`bisect_signature` — replays the trigger through prefixes of the
+  responsible toolchain's pass pipeline and through field-by-field
+  environment deltas to name the first pass / first FP-environment delta
+  that flips the comparison.
+* :func:`triage_results` / :func:`triage_campaign` — dedupe campaign-wide
+  triggers by (kind, responsible pass, divergent-cell pattern) and emit a
+  ranked, byte-deterministic :class:`TriageReport`.
+
+CLI: ``llm4fp triage checkpoint.jsonl`` (or ``--demo`` / ``--program``).
+"""
+
+from repro.triage.bisect import (
+    BisectionResult,
+    EnvDelta,
+    PassStep,
+    bisect_cell,
+    bisect_signature,
+)
+from repro.triage.cluster import (
+    TriageCluster,
+    TriageEntry,
+    TriageReport,
+    cluster_entries,
+    triage_campaign,
+    triage_outcomes,
+    triage_results,
+    triage_single,
+)
+from repro.triage.distilled import (
+    DISTILLED_INPUTS,
+    DISTILLED_SOURCE,
+    distilled_trigger,
+)
+from repro.triage.oracle import PairObservation, PairOracle
+from repro.triage.reduce import ReductionResult, reduce_program
+from repro.triage.signature import (
+    InconsistencySignature,
+    canonical_signature,
+    divergence_cells,
+    signatures_of,
+)
+
+__all__ = [
+    "BisectionResult",
+    "EnvDelta",
+    "PassStep",
+    "bisect_cell",
+    "bisect_signature",
+    "TriageCluster",
+    "TriageEntry",
+    "TriageReport",
+    "cluster_entries",
+    "triage_campaign",
+    "triage_outcomes",
+    "triage_results",
+    "triage_single",
+    "DISTILLED_INPUTS",
+    "DISTILLED_SOURCE",
+    "distilled_trigger",
+    "PairObservation",
+    "PairOracle",
+    "ReductionResult",
+    "reduce_program",
+    "InconsistencySignature",
+    "canonical_signature",
+    "divergence_cells",
+    "signatures_of",
+]

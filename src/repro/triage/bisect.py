@@ -1,0 +1,228 @@
+"""Pass-pipeline and FP-environment bisection of one divergent cell.
+
+Because every compiler in :mod:`repro.toolchains` is an *explicit* pass
+pipeline bound to an explicit :class:`~repro.fp.env.FPEnvironment`, a
+divergence can be attributed exactly instead of guessed from binaries.
+Two deterministic replays:
+
+* **pass walk** — hold both sides in a *shared* environment (compiler A's)
+  and grow pipeline prefixes along the canonical schedule
+  ``(0,0) → (1,0) → ... → (m,0) → (m,1) → ... → (m,n)``: first all of A's
+  passes, then all of B's.  The first prefix whose outputs differ names
+  the optimization pass that introduced the divergence.  If no prefix
+  differs, the passes are innocent: the divergence is purely
+  environmental.
+* **environment walk** — hold both kernels fully optimized, start B in
+  A's environment, and apply B's true environment one differing field at
+  a time (canonical field order: precision, libm, ftz, approx_div,
+  approx_sqrt).  The first field whose introduction changes B's output is
+  the first FP-environment delta that contributes to — and, when the pass
+  walk found nothing, flips — the comparison.
+
+Both walks replay the *same* front-ended kernels the campaign compiled,
+so the attribution describes the observed trigger, not an approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.difftest.engine import frontend_kernels
+from repro.errors import TriageError
+from repro.execution.limits import DEFAULT_MAX_STEPS
+from repro.execution.worker import run_kernel
+from repro.fp.env import FPEnvironment
+from repro.ir import nodes as ir
+from repro.toolchains.base import Compiler
+from repro.toolchains.optlevels import OptLevel
+from repro.triage.oracle import compilers_by_name
+from repro.triage.signature import InconsistencySignature
+
+__all__ = ["PassStep", "EnvDelta", "BisectionResult", "bisect_cell", "bisect_signature"]
+
+#: Canonical order in which environment deltas are introduced.
+ENV_FIELDS = ("precision", "libm", "ftz", "approx_div", "approx_sqrt")
+
+
+def _env_value(env: FPEnvironment, field: str) -> str:
+    value = getattr(env, field)
+    if field == "libm":
+        return value.name
+    if field == "precision":
+        return value.value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class PassStep:
+    """One optimization pass of one side's pipeline."""
+
+    compiler: str
+    index: int  # 0-based position in that compiler's pipeline at the level
+    name: str
+
+    def label(self) -> str:
+        return f"{self.compiler}:{self.name}"
+
+
+@dataclass(frozen=True)
+class EnvDelta:
+    """One FP-environment field on which the two sides differ."""
+
+    field: str
+    value_a: str
+    value_b: str
+
+    def label(self) -> str:
+        return f"{self.field}: {self.value_a} -> {self.value_b}"
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    """Attribution of one divergent (compiler pair, level) cell."""
+
+    target: InconsistencySignature
+    #: first pass that flips the comparison under a shared environment;
+    #: None when the pipelines are innocent (environment-only divergence)
+    responsible_pass: PassStep | None
+    #: first environment delta that observably changes side B's output;
+    #: None when both environments coincide or no delta is observable
+    env_delta: EnvDelta | None
+    #: every field on which the two environments differ, canonical order
+    env_deltas: tuple[EnvDelta, ...]
+    #: replay log, one line per step, for the triage report
+    trace: tuple[str, ...]
+
+    @property
+    def responsible(self) -> str:
+        """Cluster label: the responsible pass, or ``environment``."""
+        if self.responsible_pass is not None:
+            return self.responsible_pass.label()
+        if self.env_delta is not None:
+            return f"environment({self.env_delta.field})"
+        return "environment"
+
+
+def bisect_cell(
+    source: str,
+    inputs: tuple,
+    compiler_a: Compiler,
+    compiler_b: Compiler,
+    level: OptLevel,
+    target: InconsistencySignature | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> BisectionResult:
+    """Attribute the divergence of one matrix cell to a pass + env delta."""
+    if target is None:
+        target = InconsistencySignature(
+            compiler_a.name, compiler_b.name, level, kind="?"
+        )
+    frontend = frontend_kernels(source)
+    kernels: list[ir.Kernel] = []
+    for compiler in (compiler_a, compiler_b):
+        kernel = frontend.kernels.get(compiler.kind)
+        if kernel is None:
+            raise TriageError(
+                f"{compiler.name}: front end rejected the trigger: "
+                f"{frontend.errors.get(compiler.kind, 'unknown error')}"
+            )
+        kernels.append(kernel)
+    kernel_a, kernel_b = kernels
+    passes_a = list(compiler_a.pipeline(level).passes)
+    passes_b = list(compiler_b.pipeline(level).passes)
+    env_a = compiler_a.environment(level)
+    env_b = compiler_b.environment(level)
+
+    def sig(kernel: ir.Kernel, env: FPEnvironment) -> str | None:
+        result = run_kernel(kernel, env, inputs, max_steps)
+        return result.signature()
+
+    trace: list[str] = []
+
+    # -- pass walk (shared environment) -----------------------------------------
+    # Prefix kernels build incrementally (pass i applied to prefix i-1 ==
+    # PassPipeline(passes[:i]).run) and signatures compute lazily: the walk
+    # usually stops at the first divergence, often step 1.
+    responsible: PassStep | None = None
+    ka_prefixes = [kernel_a]
+    for p in passes_a:
+        ka_prefixes.append(p.run(ka_prefixes[-1]))
+    kb_prefixes = [kernel_b]
+    for p in passes_b:
+        kb_prefixes.append(p.run(kb_prefixes[-1]))
+
+    schedule: list[tuple[int, int, PassStep | None]] = [(0, 0, None)]
+    for i in range(1, len(passes_a) + 1):
+        schedule.append((i, 0, PassStep(compiler_a.name, i - 1, passes_a[i - 1].name)))
+    for j in range(1, len(passes_b) + 1):
+        schedule.append(
+            (len(passes_a), j, PassStep(compiler_b.name, j - 1, passes_b[j - 1].name))
+        )
+    sa_cache: dict[int, str | None] = {}
+    sb_cache: dict[int, str | None] = {}
+    for i, j, step in schedule:
+        if i not in sa_cache:
+            sa_cache[i] = sig(ka_prefixes[i], env_a)
+        if j not in sb_cache:
+            sb_cache[j] = sig(kb_prefixes[j], env_a)
+        sa, sb = sa_cache[i], sb_cache[j]
+        differs = sa != sb
+        what = "front-ended kernels" if step is None else f"+ {step.label()}"
+        trace.append(
+            f"passes   [{i}/{len(passes_a)} | {j}/{len(passes_b)}] {what:<28} "
+            f"{'DIVERGES' if differs else 'agree'} (shared env {env_a.describe()})"
+        )
+        if differs:
+            responsible = step  # None at (0,0): lowering itself diverged
+            break
+
+    # -- environment walk (true kernels) -----------------------------------------
+    kernel_a_full = ka_prefixes[-1]
+    kernel_b_full = kb_prefixes[-1]
+    deltas = tuple(
+        EnvDelta(f, _env_value(env_a, f), _env_value(env_b, f))
+        for f in ENV_FIELDS
+        if _env_value(env_a, f) != _env_value(env_b, f)
+    )
+    env_delta: EnvDelta | None = None
+    sig_a_true = sig(kernel_a_full, env_a)
+    env_cur = env_a
+    sig_b_prev = sig(kernel_b_full, env_cur)
+    for delta in deltas:
+        env_cur = replace(env_cur, **{delta.field: getattr(env_b, delta.field)})
+        sig_b = sig(kernel_b_full, env_cur)
+        changed = sig_b != sig_b_prev
+        state = "agree" if sig_b == sig_a_true else "DIVERGES"
+        trace.append(
+            f"env      + {delta.label():<28} output "
+            f"{'changes' if changed else 'unchanged'}; comparison {state}"
+        )
+        if changed and env_delta is None:
+            env_delta = delta
+        sig_b_prev = sig_b
+
+    return BisectionResult(
+        target=target,
+        responsible_pass=responsible,
+        env_delta=env_delta,
+        env_deltas=deltas,
+        trace=tuple(trace),
+    )
+
+
+def bisect_signature(
+    source: str,
+    inputs: tuple,
+    target: InconsistencySignature,
+    compilers: list[Compiler],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> BisectionResult:
+    """:func:`bisect_cell` addressed by an :class:`InconsistencySignature`."""
+    by_name = compilers_by_name(compilers)
+    try:
+        ca, cb = by_name[target.compiler_a], by_name[target.compiler_b]
+    except KeyError as e:
+        raise TriageError(f"signature names unknown compiler {e.args[0]!r}") from e
+    return bisect_cell(
+        source, inputs, ca, cb, target.level, target=target, max_steps=max_steps
+    )

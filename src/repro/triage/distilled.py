@@ -1,0 +1,46 @@
+"""The distilled demonstration trigger used by docs, CLI ``--demo`` and CI.
+
+A transcendental feeding an FMA-shaped update in a loop: host/device libm
+differences make every host-vs-nvcc cell diverge, and ptxas' selective FMA
+contraction fires on the ``sin(x + i) * coef + k`` site, so the pass
+bisector has both a responsible pass (``fma-contract``) and an observable
+environment delta (``libm: glibc -> cuda``) to name.  ``O3_fastmath``
+additionally splits the host compilers (different reassociation orders).
+"""
+
+from __future__ import annotations
+
+from repro.generation.program import GeneratedProgram
+
+__all__ = ["DISTILLED_SOURCE", "DISTILLED_INPUTS", "distilled_trigger"]
+
+DISTILLED_SOURCE = """\
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+void compute(double x, double coef, int steps) {
+  double comp = 0.0;
+  double k = sin(0.731);
+  for (int i = 0; i < steps; ++i) {
+    comp += sin(x + i) * coef + k;
+  }
+  printf("%.17g\\n", comp);
+}
+
+int main(int argc, char **argv) {
+  compute(atof(argv[1]), atof(argv[2]), atoi(argv[3]));
+  return 0;
+}
+"""
+
+DISTILLED_INPUTS = (0.37, 1.91, 23)
+
+
+def distilled_trigger() -> GeneratedProgram:
+    """The distilled trigger as a :class:`GeneratedProgram`."""
+    return GeneratedProgram(
+        source=DISTILLED_SOURCE,
+        inputs=DISTILLED_INPUTS,
+        meta={"strategy": "distilled-demo"},
+    )

@@ -1,0 +1,122 @@
+"""Bisector: pass attribution, environment deltas, determinism."""
+
+import pytest
+
+from repro.difftest.config import CampaignConfig
+from repro.difftest.engine import CampaignEngine
+from repro.errors import TriageError
+from repro.toolchains import (
+    ClangCompiler,
+    GccCompiler,
+    NvccCompiler,
+    OptLevel,
+    default_compilers,
+)
+from repro.triage import (
+    bisect_cell,
+    bisect_signature,
+    distilled_trigger,
+    signatures_of,
+)
+
+#: Host-host divergence: clang's front end folds sin(1.01) with the
+#: correctly-rounded model at every level, gcc calls glibc at run time,
+#: and the two values differ by an ulp at this point.
+FOLD_TRIGGER = """
+#include <stdio.h>
+#include <math.h>
+void compute(double x) {
+  double k = sin(1.01);
+  printf("%.17g\\n", k + x);
+}
+int main(int argc, char **argv) { compute(atof(argv[1])); return 0; }
+"""
+
+#: Pure environment divergence: no pipeline touches sin(x) at O0_nofma,
+#: but glibc and the CUDA Math Library round 2.37 differently.
+LIBM_TRIGGER = """
+#include <stdio.h>
+#include <math.h>
+void compute(double x) {
+  printf("%.17g\\n", sin(x));
+}
+int main(int argc, char **argv) { compute(atof(argv[1])); return 0; }
+"""
+
+
+@pytest.fixture(scope="module")
+def compilers():
+    return default_compilers()
+
+
+def test_distilled_trigger_names_fma_contraction(compilers):
+    """The acceptance scenario: the distilled trigger's host-vs-device
+    divergence is pinned on nvcc's FMA contraction, with the libm swap as
+    the first observable environment delta."""
+    program = distilled_trigger()
+    engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+    outcome = engine.test_program(0, program)
+    sig = next(
+        s
+        for s in signatures_of(outcome)
+        if s.pair == ("gcc", "nvcc") and s.level is OptLevel.O0
+    )
+    result = bisect_signature(program.source, program.inputs, sig, compilers)
+    assert result.responsible_pass is not None
+    assert result.responsible_pass.name == "fma-contract"
+    assert result.responsible_pass.compiler == "nvcc"
+    assert result.responsible == "nvcc:fma-contract"
+    assert result.env_delta is not None
+    assert result.env_delta.field == "libm"
+    assert result.env_delta.label() == "libm: glibc -> cuda"
+    # The replay trace records the flip at nvcc's pass, not before it.
+    assert any("fma-contract" in line and "DIVERGES" in line for line in result.trace)
+
+
+def test_host_pair_divergence_names_constant_fold():
+    result = bisect_cell(
+        FOLD_TRIGGER, (0.25,), GccCompiler(), ClangCompiler(), OptLevel.O0
+    )
+    assert result.responsible == "clang:constant-fold"
+    # Same environment on both sides: no delta to report.
+    assert result.env_deltas == ()
+    assert result.env_delta is None
+
+
+def test_environment_only_divergence(compilers):
+    """With empty pipelines on both sides (O0_nofma) the bisector must
+    blame the environment, and name libm as the delta that flips it."""
+    result = bisect_cell(
+        LIBM_TRIGGER, (2.37,), GccCompiler(), NvccCompiler(), OptLevel.O0_NOFMA
+    )
+    assert result.responsible_pass is None
+    assert result.env_delta is not None
+    assert result.env_delta.field == "libm"
+    assert result.responsible == "environment(libm)"
+
+
+def test_bisection_is_deterministic(compilers):
+    program = distilled_trigger()
+    engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+    outcome = engine.test_program(0, program)
+    sig = signatures_of(outcome)[0]
+    first = bisect_signature(program.source, program.inputs, sig, compilers)
+    second = bisect_signature(program.source, program.inputs, sig, compilers)
+    assert first == second
+
+
+def test_unknown_compiler_is_rejected(compilers):
+    program = distilled_trigger()
+    engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+    outcome = engine.test_program(0, program)
+    sig = signatures_of(outcome)[0]
+    hosts_only = [GccCompiler(), ClangCompiler()]
+    with pytest.raises(TriageError):
+        bisect_signature(program.source, program.inputs, sig, hosts_only)
+
+
+def test_frontend_failure_is_rejected():
+    with pytest.raises(TriageError):
+        bisect_cell(
+            "not a program", (1.0,), GccCompiler(), NvccCompiler(), OptLevel.O0
+        )
