@@ -1,0 +1,99 @@
+"""Docs CI: run the documentation's code snippets and check its links.
+
+Documentation that never executes rots silently.  This driver keeps the
+docs honest two ways:
+
+* every fenced ```python block in ``docs/*.md`` and ``README.md`` that
+  contains ``>>>`` interpreter sessions is executed through
+  :mod:`doctest` (one shared namespace per file, so later snippets can
+  build on earlier ones);
+* every relative markdown link/image target must resolve to an existing
+  file (external ``http(s)``/``mailto`` links and pure ``#`` anchors are
+  skipped — CI must not depend on the network).
+
+Any doctest failure or dangling link fails the job.
+
+    python scripts/check_docs.py            # all docs
+    python scripts/check_docs.py vector     # substring filter on file names
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+#: [text](target) and ![alt](target), ignoring images' titles
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def doctest_blocks(path: Path) -> tuple[int, int]:
+    """Run every ``>>>`` snippet in ``path``; returns (attempted, failed)."""
+    text = path.read_text(encoding="utf-8")
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS)
+    parser = doctest.DocTestParser()
+    globs: dict = {}  # shared across the file's blocks, like one session
+    attempted = failed = 0
+    for i, match in enumerate(_FENCE.finditer(text)):
+        block = match.group(1)
+        if ">>>" not in block:
+            continue
+        test = parser.get_doctest(block, globs, f"{path.name}[{i}]", str(path), 0)
+        result = runner.run(test, clear_globs=False)
+        globs.update(test.globs)  # get_doctest copies; carry state forward
+        attempted += result.attempted
+        failed += result.failed
+    return attempted, failed
+
+
+def check_links(path: Path) -> list[str]:
+    """Dangling relative link targets in ``path`` (empty = all resolve)."""
+    problems = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO)}: dangling link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    needle = args[0] if args else ""
+    failures = 0
+    total = 0
+    checked = 0
+    link_problems: list[str] = []
+    for path in DOC_FILES:
+        if needle and needle not in path.name:
+            continue
+        if not path.exists():
+            print(f"MISSING: {path}", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        attempted, failed = doctest_blocks(path)
+        total += attempted
+        failures += failed
+        link_problems.extend(check_links(path))
+        status = "ok" if not failed else f"{failed} FAILED"
+        print(f"{path.relative_to(REPO)}: {attempted} doctest example(s), {status}")
+    for problem in link_problems:
+        print(problem, file=sys.stderr)
+    if not checked:
+        print(f"no doc file matches {needle!r}", file=sys.stderr)
+        return 2
+    if not total and not needle:
+        print("no doctest examples found — docs missing?", file=sys.stderr)
+        return 2
+    return 1 if failures or link_problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

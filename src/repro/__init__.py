@@ -18,9 +18,9 @@ from repro.difftest.config import CampaignConfig
 from repro.difftest.engine import CampaignEngine, EngineConfig
 from repro.difftest.harness import DifferentialHarness, run_campaign
 from repro.difftest.report import CampaignReport
-from repro.experiments.approaches import APPROACHES, make_generator
+from repro.experiments.approaches import ALL_APPROACHES, APPROACHES, make_generator
 from repro.fp.formats import Precision
-from repro.generation import SimLLM, VarityGenerator
+from repro.generation import LoopReductionGenerator, SimLLM, VarityGenerator
 from repro.toolchains import default_compilers, OptLevel
 from repro.triage import (
     TriageReport,
@@ -41,10 +41,12 @@ __all__ = [
     "DifferentialHarness",
     "run_campaign",
     "CampaignReport",
+    "ALL_APPROACHES",
     "APPROACHES",
     "make_generator",
     "Precision",
     "SimLLM",
+    "LoopReductionGenerator",
     "VarityGenerator",
     "default_compilers",
     "OptLevel",

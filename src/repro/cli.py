@@ -19,7 +19,7 @@ from repro.difftest.record import ProgramOutcome
 from repro.difftest.report import CampaignReport
 from repro.difftest.store import CampaignStore, load_result, merge_shards
 from repro.experiments import table2, table3, table4, table5, figure3, triage_summary
-from repro.experiments.approaches import APPROACHES, make_generator
+from repro.experiments.approaches import ALL_APPROACHES, make_generator
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.settings import ExperimentSettings, parse_shard
 from repro.fp.formats import Precision
@@ -118,12 +118,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"triggering programs:  {s['triggering_programs']}")
     print(f"time cost:            {format_hms(s['time_seconds'])}")
     print(report.render_stages())
+    _print_kinds(report)
+    return 0
+
+
+def _print_kinds(report: CampaignReport) -> None:
     kinds = report.kind_counts().as_labels()
     if kinds:
         print("kinds:")
         for label, count in kinds.items():
             print(f"  {label:<16} {count}")
-    return 0
+    tags = report.tag_counts()
+    if tags:
+        print("structural kinds:")
+        for label, count in tags.items():
+            print(f"  {label:<16} {count}")
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -176,11 +185,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     print(f"inconsistencies:      {s['inconsistencies']:,}")
     print(f"inconsistency rate:   {s['inconsistency_rate'] * 100:.2f}%")
     print(f"triggering programs:  {s['triggering_programs']}")
-    kinds = report.kind_counts().as_labels()
-    if kinds:
-        print("kinds:")
-        for label, count in kinds.items():
-            print(f"  {label:<16} {count}")
+    _print_kinds(report)
     return 0
 
 
@@ -268,7 +273,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one approach's campaign")
-    p_run.add_argument("--approach", choices=APPROACHES, default="llm4fp")
+    p_run.add_argument("--approach", choices=ALL_APPROACHES, default="llm4fp")
     p_run.add_argument("--budget", type=int, default=100)
     p_run.add_argument("--seed", type=int, default=20250916)
     p_run.add_argument(

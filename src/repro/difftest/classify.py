@@ -4,17 +4,133 @@ An inconsistency between results ``r_i != r_j`` is labelled by the
 unordered pair of their numerical categories in
 {Real, Zero, +Inf, -Inf, NaN}; e.g. a real number vs. a zero counts once as
 {Real, Zero}.  The eleven possible kinds are the x-axis of Figure 3.
+
+Beyond the value-class taxonomy, the vectorization tier adds one
+*structural* kind: :data:`VECTOR_REDUCTION` marks an inconsistent
+comparison attributable to the vector tier *alone*.  Three conditions,
+all deterministic functions of the two optimized kernels:
+
+1. the sides reduce loops with **different vector shapes** (different
+   widths / horizontal-reduction styles);
+2. their FP environments are observationally equal (so the optimized IR
+   is the only possible divergence source); and
+3. stripped of every vector construct, the kernels are
+   **content-identical** — the sides agree on all scalar code, so no
+   other pass (reassociation, folding, contraction) can be the cause.
+
+Without (3) a program that merely *contains* a vectorizable loop would
+be mislabeled whenever an unrelated scalar transform (e.g. fast-math
+reassociation of a straight-line sum) flips the comparison.  The tag is
+precise by construction; triage bisection remains the ground truth for
+*which* pass flipped a comparison.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import combinations_with_replacement
 
 from repro.fp.classify import CLASS_ORDER, FPClass, classify_double
+from repro.ir import nodes as ir
 
-__all__ = ["inconsistency_kind", "ALL_KINDS", "kind_label", "KindCount"]
+__all__ = [
+    "inconsistency_kind",
+    "ALL_KINDS",
+    "kind_label",
+    "KindCount",
+    "VECTOR_REDUCTION",
+    "vector_shape",
+    "devectorized_body",
+    "devectorized_fingerprint",
+    "vector_reduction_tag",
+]
+
+#: Structural inconsistency kind: the two sides disagree on how loop
+#: reductions were vectorized (shape below), under equal environments.
+VECTOR_REDUCTION = "vector-reduction"
+
+
+def vector_shape(kernel: ir.Kernel) -> tuple[tuple[str, int, str], ...]:
+    """The kernel's reduction shape: every :class:`~repro.ir.nodes.VecReduce`
+    site as ``(op, lanes, style)``, in deterministic pre-order.
+
+    Two optimized kernels with different shapes associate their reduction
+    sums differently, so equal inputs can round to different results.
+    """
+    shape = []
+    for s in ir.walk_stmts(kernel.body):
+        for top in ir.stmt_exprs(s):
+            for e in ir.walk(top):
+                if isinstance(e, ir.VecReduce):
+                    shape.append((e.op, e.lanes, e.style))
+    return tuple(shape)
+
+
+def _stmt_has_vector(s: ir.Stmt) -> bool:
+    for sub in ir.walk_stmts((s,)):
+        if isinstance(sub, ir.SVecStore):
+            return True
+        for top in ir.stmt_exprs(sub):
+            for e in ir.walk(top):
+                if isinstance(e, ir.ANY_VECTOR_NODES):
+                    return True
+    return False
+
+
+def devectorized_body(kernel: ir.Kernel) -> tuple[ir.Stmt, ...]:
+    """The kernel's statements with every vector construct dropped.
+
+    Vector-bearing leaf statements are removed; compound statements
+    recurse, and a vector-bearing compound whose stripped bodies come
+    out empty vanishes whole — for a vectorizer-emitted loop that is
+    exactly the guarded vector block (lane inits, width-strided main
+    loop, horizontal combines), leaving the hoisted induction init and
+    the scalar epilogue, even when the vectorized loop sits nested
+    inside source control flow.  The result is width- and
+    style-independent, so two kernels that differ *only* in how the
+    vector tier widened them strip to identical bodies.
+    """
+
+    def strip(stmts: tuple[ir.Stmt, ...]) -> tuple[ir.Stmt, ...]:
+        out: list[ir.Stmt] = []
+        for s in stmts:
+            if isinstance(s, ir.SIf):
+                then, other = strip(s.then), strip(s.other)
+                if then or other or not _stmt_has_vector(s):
+                    out.append(ir.SIf(s.cond, then, other))
+            elif isinstance(s, ir.SFor):
+                body = strip(s.body)
+                if body or not _stmt_has_vector(s):
+                    out.append(ir.SFor(strip(s.init), s.cond, strip(s.step), body))
+            elif isinstance(s, ir.SWhile):
+                body = strip(s.body)
+                if body or not _stmt_has_vector(s):
+                    out.append(ir.SWhile(s.cond, body))
+            elif not _stmt_has_vector(s):
+                out.append(s)
+        return tuple(out)
+
+    return strip(kernel.body)
+
+
+def devectorized_fingerprint(kernel: ir.Kernel) -> str:
+    """Content hash of :func:`devectorized_body` — what the compare stage
+    stores and compares (no retained IR, no per-pair deep tuple walks)."""
+    return hashlib.sha256(repr(devectorized_body(kernel)).encode("utf-8")).hexdigest()
+
+
+def vector_reduction_tag(
+    shape_a: tuple, shape_b: tuple, envs_equal: bool, scalar_parts_equal: bool
+) -> str | None:
+    """``VECTOR_REDUCTION`` when an inconsistency is attributable to the
+    vector tier alone: reduction shapes differ, the FP environments are
+    observationally equal, and the devectorized kernels coincide (see the
+    module docstring's three conditions).  ``None`` otherwise."""
+    if envs_equal and scalar_parts_equal and shape_a != shape_b:
+        return VECTOR_REDUCTION
+    return None
 
 
 def inconsistency_kind(a: float, b: float) -> frozenset[FPClass]:

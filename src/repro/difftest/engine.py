@@ -70,6 +70,11 @@ from repro.difftest.backend import (
     create_backend,
     resolve_jobs,
 )
+from repro.difftest.classify import (
+    devectorized_fingerprint,
+    vector_reduction_tag,
+    vector_shape,
+)
 from repro.difftest.compare import digit_difference
 from repro.difftest.config import CampaignConfig
 from repro.difftest.record import CampaignResult, ComparisonRecord, ProgramOutcome
@@ -204,6 +209,12 @@ class _BinaryRun:
     signature: str | None
     value: float | None
     printed: tuple[float, ...] = ()
+    #: optimized kernel's (op, lanes, style) VecReduce sites, the content
+    #: hash of its vector-stripped body, and env identity — used to tag
+    #: vector-reduction inconsistencies in the compare stage
+    vec_shape: tuple = ()
+    devec_fp: str = ""
+    env_key: tuple = ()
 
 
 def frontend_kernels(source: str) -> FrontendRecord:
@@ -267,7 +278,27 @@ def _validate_compilers(compilers: list[Compiler]) -> None:
 
 class CampaignEngine:
     """Runs campaigns as explicit generate/frontend/compile/execute/compare
-    stages over a fixed compiler matrix."""
+    stages over a fixed compiler matrix.
+
+    The engine owns the campaign-wide compile cache and the within-matrix
+    dedup; :class:`EngineConfig` selects the fan-out backend, worker
+    count, sharding and caching.  Results are byte-identical across every
+    backend/jobs/cache configuration — only stage timings differ.
+
+    Typical use::
+
+        engine = CampaignEngine(
+            default_compilers(),
+            CampaignConfig(budget=200),
+            EngineConfig(backend="process", jobs="auto"),
+        )
+        result = engine.run(make_generator("loops", SplittableRng(1)))
+
+    ``run`` drives a generator through the full budget (optionally
+    checkpointed via a :class:`~repro.difftest.store.CampaignStore`);
+    ``test_program`` pushes a single already-generated program through
+    the frontend/compile/execute/compare stages.
+    """
 
     def __init__(
         self,
@@ -595,6 +626,9 @@ class CampaignEngine:
     ) -> dict[tuple[str, OptLevel], _BinaryRun]:
         """Fill the outcome's per-binary dicts in legacy matrix order."""
         runs: dict[tuple[str, OptLevel], _BinaryRun] = {}
+        # kernel identity -> (vector shape, devectorized fingerprint),
+        # memoized: sibling levels share the optimized kernel object
+        shapes: dict[int, tuple] = {}
         for record in compiles:
             label = record.label
             outcome.compiled[label] = record.ok
@@ -604,8 +638,18 @@ class CampaignEngine:
             outcome.ran[label] = result.ok
             if result.ok:
                 sig = result.signature()
+                kernel = record.binary.kernel
+                cached = shapes.get(id(kernel))
+                if cached is None:
+                    cached = (vector_shape(kernel), devectorized_fingerprint(kernel))
+                    shapes[id(kernel)] = cached
                 runs[(record.compiler, record.level)] = _BinaryRun(
-                    sig, result.value, result.printed
+                    sig,
+                    result.value,
+                    result.printed,
+                    vec_shape=cached[0],
+                    devec_fp=cached[1],
+                    env_key=env_fingerprint(record.binary.env),
                 )
                 if sig is not None:
                     outcome.signatures[label] = sig
@@ -641,6 +685,12 @@ class CampaignEngine:
                         value_a=va,
                         value_b=vb,
                         digit_diff=_diffing_digits(va, vb),
+                        tag=vector_reduction_tag(
+                            ra.vec_shape,
+                            rb.vec_shape,
+                            ra.env_key == rb.env_key,
+                            ra.devec_fp == rb.devec_fp,
+                        ),
                     )
                 )
 

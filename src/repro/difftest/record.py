@@ -14,7 +14,16 @@ __all__ = ["ComparisonRecord", "ProgramOutcome", "CampaignResult"]
 
 @dataclass(frozen=True)
 class ComparisonRecord:
-    """One pairwise output comparison at one optimization level."""
+    """One pairwise output comparison at one optimization level.
+
+    ``tag`` carries a structural inconsistency kind when one applies —
+    currently only :data:`~repro.difftest.classify.VECTOR_REDUCTION`,
+    set by the engine when the two sides' optimized kernels reduce loops
+    with different vector shapes under observationally equal FP
+    environments.  It complements (never replaces) the value-class
+    ``kind``: Figure 3 taxonomies stay value-based, while triage keys on
+    the structural kind when present.
+    """
 
     program_index: int
     compiler_a: str
@@ -24,6 +33,7 @@ class ComparisonRecord:
     value_a: float | None = None
     value_b: float | None = None
     digit_diff: int = 0
+    tag: str | None = None
 
     @property
     def pair(self) -> tuple[str, str]:

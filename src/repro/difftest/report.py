@@ -131,6 +131,18 @@ class CampaignReport:
                 kinds.record(c.value_a, c.value_b)
         return kinds
 
+    def tag_counts(self) -> dict[str, int]:
+        """Structural inconsistency kinds (``vector-reduction``) by count.
+
+        Orthogonal to :meth:`kind_counts`: a tagged comparison still
+        appears in its value-class bucket, so Figure 3 totals are
+        unchanged by the vector tier.
+        """
+        counts = Counter(
+            c.tag for c in self.result.comparisons if not c.consistent and c.tag
+        )
+        return dict(sorted(counts.items()))
+
     # -- Table 3 --------------------------------------------------------------------
 
     def kinds_by_level(self) -> dict[OptLevel, KindCount]:

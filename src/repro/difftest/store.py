@@ -46,7 +46,11 @@ __all__ = [
     "decode_outcome",
 ]
 
-_FORMAT_VERSION = 1
+# Version 2 added the per-comparison structural ``tag`` (vector-reduction)
+# alongside the vectorizing toolchain pipelines; version-1 checkpoints were
+# produced by pre-vectorization compiler models and must not be replayed
+# into a campaign whose matrix would compute different results.
+_FORMAT_VERSION = 2
 
 
 class CampaignStoreError(ValueError):
@@ -111,6 +115,7 @@ def encode_outcome(outcome: ProgramOutcome) -> dict:
                 "value_a": _enc_float(c.value_a),
                 "value_b": _enc_float(c.value_b),
                 "digit_diff": c.digit_diff,
+                "tag": c.tag,
             }
             for c in outcome.comparisons
         ],
@@ -146,6 +151,7 @@ def decode_outcome(record: dict) -> ProgramOutcome:
             value_a=_dec_float(c["value_a"]),
             value_b=_dec_float(c["value_b"]),
             digit_diff=c["digit_diff"],
+            tag=c.get("tag"),
         )
         for c in record["comparisons"]
     ]

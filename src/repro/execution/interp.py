@@ -129,6 +129,12 @@ class Interpreter:
             arr = self._array(s.name)
             idx = self._index(arr, s.index, s.name)
             arr[idx] = self._as_float(self._eval(s.value))
+        elif isinstance(s, ir.SVecStore):
+            arr = self._array(s.name)
+            idx = self._vec_index(arr, s.index, s.lanes, s.name)
+            lanes = self._eval(s.value)
+            for j in range(s.lanes):
+                arr[idx + j] = self._as_float(lanes[j])
         elif isinstance(s, ir.SIf):
             if self._truthy(self._eval(s.cond)):
                 self._exec_block(s.then)
@@ -230,7 +236,78 @@ class Interpreter:
             if math.isnan(v) or math.isinf(v):
                 return v
             return self.env.canon(v, "float")
+        if isinstance(e, ir.ANY_VECTOR_NODES):
+            return self._eval_vector(e)
         raise TrapError(f"cannot evaluate {type(e).__name__}")  # pragma: no cover
+
+    def _eval_vector(self, e: ir.Expr):
+        """Vector nodes evaluate to tuples of lanes; every lane routes
+        through the environment exactly like the scalar op it widens, so
+        vector execution is deterministic lane math."""
+        env = self.env
+        if isinstance(e, ir.VecConst):
+            return e.values
+        if isinstance(e, ir.VecSplat):
+            return (self._eval(e.operand),) * e.lanes
+        if isinstance(e, ir.VecIota):
+            base = self._eval(e.base)
+            return tuple(self._check_int(base + j) for j in range(e.lanes))
+        if isinstance(e, ir.VecLoad):
+            arr = self._array(e.name)
+            idx = self._vec_index(arr, e.index, e.lanes, e.name)
+            lanes = arr[idx : idx + e.lanes]
+            for j, v in enumerate(lanes):
+                if v is None:
+                    raise TrapError(
+                        f"read of uninitialized element {e.name}[{idx + j}]"
+                    )
+            return tuple(lanes)
+        if isinstance(e, ir.VecSiToFp):
+            return tuple(env.canon(float(v), e.ty) for v in self._eval(e.operand))
+        if isinstance(e, ir.VecBin):
+            left = self._eval(e.left)
+            right = self._eval(e.right)
+            op = {"+": env.add, "-": env.sub, "*": env.mul, "/": env.div}[e.op]
+            return tuple(op(a, b, e.ty) for a, b in zip(left, right))
+        if isinstance(e, ir.VecNeg):
+            return tuple(env.neg(v, e.ty) for v in self._eval(e.operand))
+        if isinstance(e, ir.VecFma):
+            a, b, c = self._eval(e.a), self._eval(e.b), self._eval(e.c)
+            return tuple(
+                env.fma(x, y, z, e.ty) for x, y, z in zip(a, b, c)
+            )
+        if isinstance(e, ir.VecCall):
+            args = [self._eval(a) for a in e.args]
+            return tuple(
+                env.call(e.name, tuple(arg[j] for arg in args), e.ty)
+                for j in range(e.lanes)
+            )
+        assert isinstance(e, ir.VecReduce)
+        lanes = list(self._eval(e.operand))
+        combine = env.add if e.op == "+" else env.mul
+        if e.style == "ladder":
+            acc = lanes[0]
+            for v in lanes[1:]:
+                acc = combine(acc, v, e.ty)
+            return acc
+        if e.style == "butterfly":
+            n = len(lanes)
+            while n > 1:
+                m = (n + 1) // 2
+                for j in range(n - m):
+                    lanes[j] = combine(lanes[j], lanes[j + m], e.ty)
+                n = m
+            return lanes[0]
+        # adjacent: pairwise neighbours per round, odd lane carries over
+        while len(lanes) > 1:
+            nxt = [
+                combine(lanes[j], lanes[j + 1], e.ty)
+                for j in range(0, len(lanes) - 1, 2)
+            ]
+            if len(lanes) % 2:
+                nxt.append(lanes[-1])
+            lanes = nxt
+        return lanes[0]
 
     def _ibin(self, e: ir.IBin) -> int:
         a = self._eval(e.left)
@@ -287,6 +364,15 @@ class Interpreter:
         idx = self._eval(index_expr)
         if not 0 <= idx < len(arr):
             raise TrapError(f"index {idx} out of bounds for {name}[{len(arr)}]")
+        return idx
+
+    def _vec_index(self, arr: list, index_expr: ir.Expr, lanes: int, name: str) -> int:
+        idx = self._eval(index_expr)
+        if not 0 <= idx <= len(arr) - lanes:
+            raise TrapError(
+                f"vector index {idx}..{idx + lanes - 1} out of bounds "
+                f"for {name}[{len(arr)}]"
+            )
         return idx
 
 

@@ -1,4 +1,4 @@
-"""Factories for the paper's four approaches (§3.2.1)."""
+"""Factories for the paper's four approaches (§3.2.1) plus repo extensions."""
 
 from __future__ import annotations
 
@@ -6,14 +6,23 @@ from repro.fp.formats import Precision
 from repro.generation.llm.base import GenerationConfig, LatencyModel
 from repro.generation.llm.generator import LLMProgramGenerator
 from repro.generation.llm.simllm import SimLLM
+from repro.generation.loops import LoopReductionGenerator
 from repro.generation.program import ProgramGenerator
 from repro.generation.varity import VarityGenerator
 from repro.utils.rng import SplittableRng
 
-__all__ = ["APPROACHES", "make_generator"]
+__all__ = ["APPROACHES", "EXTRA_APPROACHES", "ALL_APPROACHES", "make_generator"]
 
-#: Paper Table 2 order.
+#: Paper Table 2 order.  Table experiments iterate exactly these four so
+#: the artefacts keep the paper's shape.
 APPROACHES: tuple[str, ...] = ("varity", "direct-prompt", "grammar-guided", "llm4fp")
+
+#: Repo-grown workloads beyond the paper's four: ``loops`` targets the
+#: vectorization tier with reduction/map loop kernels.
+EXTRA_APPROACHES: tuple[str, ...] = ("loops",)
+
+#: Everything ``make_generator`` (and the CLI) accepts.
+ALL_APPROACHES: tuple[str, ...] = APPROACHES + EXTRA_APPROACHES
 
 #: §3.2.3: Varity's pipeline is ~30 min for 1,000 programs while LLM
 #: approaches run 4-6 h, dominated by API latency — about 15 s per call.
@@ -34,11 +43,17 @@ def make_generator(
     * ``direct-prompt``  — SimLLM, no grammar in the prompt, no feedback.
     * ``grammar-guided`` — SimLLM with the Figure 2 grammar in the prompt.
     * ``llm4fp``         — grammar + feedback mutation (0.3/0.7 split).
+    * ``loops``          — reduction/map loop kernels (the vector tier's
+      workload; feedback-free, so shardable).
     """
     if approach == "varity":
         return VarityGenerator(rng)
-    if approach not in APPROACHES:
-        raise ValueError(f"unknown approach {approach!r}; expected one of {APPROACHES}")
+    if approach == "loops":
+        return LoopReductionGenerator(rng)
+    if approach not in ALL_APPROACHES:
+        raise ValueError(
+            f"unknown approach {approach!r}; expected one of {ALL_APPROACHES}"
+        )
     latency = None
     if model_latency:
         latency = LatencyModel(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.approaches import APPROACHES
+from repro.experiments.approaches import ALL_APPROACHES
 from repro.experiments.runner import ExperimentContext
 from repro.utils.tables import TextTable
 
@@ -32,11 +32,12 @@ class TriageSummaryRow:
 
 
 def compute(ctx: ExperimentContext) -> list[TriageSummaryRow]:
-    """One row per approach, Table 2 order."""
+    """One row per approach — the paper's four plus the ``loops``
+    vector-tier workload (Table 2 order, extensions last)."""
     from repro.triage.cluster import triage_campaign
 
     rows: list[TriageSummaryRow] = []
-    for approach in APPROACHES:
+    for approach in ALL_APPROACHES:
         result = ctx.campaign(approach)
         report = triage_campaign(result, reduce=False)
         if report.clusters:

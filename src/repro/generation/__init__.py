@@ -3,12 +3,15 @@
 Four generator configurations correspond to the paper's four approaches
 (§3.2.1): ``Varity`` (random grammar-based, no LLM), ``Direct-Prompt``
 (LLM, no grammar, no feedback), ``Grammar-Guided`` (LLM + grammar spec),
-and ``LLM4FP`` (LLM + grammar + feedback-based mutation).
+and ``LLM4FP`` (LLM + grammar + feedback-based mutation).  The ``loops``
+extension (:class:`~repro.generation.loops.LoopReductionGenerator`)
+targets the toolchains' vectorization tier with reduction-loop kernels.
 """
 
 from repro.generation.grammar import GrammarSpec, DEFAULT_GRAMMAR
 from repro.generation.program import GeneratedProgram, ProgramGenerator
 from repro.generation.inputs import InputProfile, generate_inputs
+from repro.generation.loops import LoopReductionGenerator
 from repro.generation.varity import VarityGenerator
 from repro.generation.prompts import (
     direct_prompt,
@@ -25,6 +28,7 @@ __all__ = [
     "ProgramGenerator",
     "InputProfile",
     "generate_inputs",
+    "LoopReductionGenerator",
     "VarityGenerator",
     "direct_prompt",
     "grammar_prompt",

@@ -1,0 +1,233 @@
+"""The ``loops`` approach: loop-heavy reduction kernels.
+
+The paper's four approaches generate mostly straight-line arithmetic with
+the occasional loop, so campaigns rarely exercise the vectorization tier.
+This generator is the tier's workload: every program is built around
+innermost counted reduction loops (dot products, running sums, products,
+lane-stepped transcendental sums) over array parameters — exactly the
+shapes :class:`~repro.ir.passes.vectorize.Vectorize` widens — plus the
+occasional map loop (vector stores) and a small dose of deliberately
+non-vectorizable loops (guarded updates) so campaigns also witness the
+vectorizer *declining*.
+
+Inputs use the PLAUSIBLE profile: values a numerical kernel would see,
+keeping sums in the normal range so vector-tier divergences surface as
+{Real, Real} bit differences rather than overflow artefacts.  Trip counts
+are drawn up to the array length; a share of programs runs 32+ trips so
+the nvcc warp-width model (32 lanes) engages, not just the host 4/8-lane
+vectorizers.
+"""
+
+from __future__ import annotations
+
+from repro.generation.inputs import InputProfile, generate_inputs
+from repro.generation.program import GeneratedProgram
+from repro.utils.rng import SplittableRng
+
+__all__ = ["LoopReductionGenerator"]
+
+#: Unary math calls that stay finite on PLAUSIBLE inputs.
+_SAFE_CALLS = ("sin", "cos", "tanh", "atan", "erf", "cbrt")
+
+
+class LoopReductionGenerator:
+    """Random generator over reduction/map loop kernels (``--approach loops``)."""
+
+    name = "loops"
+    input_profile = InputProfile.PLAUSIBLE
+
+    def __init__(self, rng: SplittableRng, warp_share: float = 0.35) -> None:
+        self._rng = rng.split("loops")
+        #: fraction of programs sized to engage the 32-lane warp model
+        self.warp_share = warp_share
+        self._counter = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self) -> GeneratedProgram:
+        self._counter += 1
+        rng = self._rng.split(f"prog-{self._counter}")
+        source, param_types, array_len, pattern = self._program(rng)
+        inputs = generate_inputs(
+            rng.split("inputs"),
+            param_types,
+            self.input_profile,
+            max_trip=array_len,
+            array_len=array_len,
+        )
+        return GeneratedProgram(
+            source=source,
+            inputs=inputs,
+            meta={"strategy": "loops", "index": self._counter, "pattern": pattern},
+        )
+
+    def notify_success(self, program: GeneratedProgram) -> None:
+        """Feedback-free (and therefore shardable), like varity."""
+
+    # -- program synthesis -------------------------------------------------------
+
+    def _program(self, rng: SplittableRng) -> tuple[str, list[str], int, str]:
+        # Array length doubles as the trip-count ceiling; a warp-share of
+        # programs is long enough for one full 32-lane vector.
+        if rng.bernoulli(self.warp_share):
+            array_len = rng.randint(33, 48)
+        else:
+            array_len = rng.randint(8, 24)
+
+        two_arrays = rng.bernoulli(0.6)
+        params: list[tuple[str, str]] = [("double *", "a")]
+        param_types: list[str] = ["double*"]
+        if two_arrays:
+            params.append(("double *", "b"))
+            param_types.append("double*")
+        params.append(("double", "s"))
+        param_types.append("double")
+        params.append(("int", "n"))
+        param_types.append("int")
+
+        arrays = ["a", "b"] if two_arrays else ["a"]
+        lines: list[str] = ["double comp = 0.0;"]
+        pattern_bits: list[str] = []
+
+        # Optional map loop first: a vector-store workload feeding the
+        # reductions below (lane-wise identical to scalar, no divergence).
+        if two_arrays and rng.bernoulli(0.4):
+            lines.extend(
+                [
+                    "for (int i = 0; i < n; ++i) {",
+                    f"  b[i] = {self._map_expr(rng)};",
+                    "}",
+                ]
+            )
+            pattern_bits.append("map")
+
+        n_loops = rng.randint(1, 2)
+        for k in range(n_loops):
+            roll = rng.random()
+            if roll < 0.15:
+                lines.extend(self._guarded_loop(rng, arrays))
+                pattern_bits.append("guarded")
+            elif roll < 0.30 and k == 0:
+                lines.extend(self._dual_reduction_loop(rng, arrays))
+                pattern_bits.append("dual")
+            else:
+                lines.extend(self._reduction_loop(rng, arrays, k))
+                pattern_bits.append("reduce")
+        lines.append('printf("%.17g\\n", comp);')
+
+        body = "\n  ".join(lines)
+        sig = ", ".join(
+            f"{ty}{'' if ty.endswith('*') else ' '}{name}" for ty, name in params
+        )
+        main_body = self._main_body(params, array_len)
+        source = (
+            "#include <stdio.h>\n"
+            "#include <stdlib.h>\n"
+            "#include <math.h>\n\n"
+            f"void compute({sig}) {{\n  {body}\n}}\n\n"
+            "int main(int argc, char **argv) {\n"
+            f"{main_body}"
+            "  return 0;\n"
+            "}\n"
+        )
+        return source, param_types, array_len, "+".join(pattern_bits)
+
+    def _main_body(self, params: list[tuple[str, str]], array_len: int) -> str:
+        pre: list[str] = []
+        args: list[str] = []
+        argi = 1
+        for ty, name in params:
+            if ty.endswith("*"):
+                arr = f"in_{name}"
+                elems = ", ".join(
+                    f"atof(argv[{argi + k}])" for k in range(array_len)
+                )
+                pre.append(f"  double {arr}[{array_len}] = {{{elems}}};\n")
+                argi += array_len
+                args.append(arr)
+            elif ty == "int":
+                args.append(f"atoi(argv[{argi}])")
+                argi += 1
+            else:
+                args.append(f"atof(argv[{argi}])")
+                argi += 1
+        return "".join(pre) + f"  compute({', '.join(args)});\n"
+
+    # -- loop shapes -------------------------------------------------------------
+
+    def _reduction_loop(
+        self, rng: SplittableRng, arrays: list[str], k: int
+    ) -> list[str]:
+        op = rng.choice(["+=", "+=", "+=", "-=", "*="])
+        if op == "*=":
+            # Products need a 1.0-seeded private accumulator (comp starts
+            # at 0.0) and factors near 1 so long trips stay in range.
+            prod = f"prod_{k + 1}"
+            return [
+                f"double {prod} = 1.0;",
+                "for (int i = 0; i < n; ++i) {",
+                f"  {prod} *= (1.0 + 0.03125 * {rng.choice(arrays)}[i]);",
+                "}",
+                f"comp += {prod};",
+            ]
+        return [
+            "for (int i = 0; i < n; ++i) {",
+            f"  comp {op} {self._mul_term(rng, arrays)};",
+            "}",
+        ]
+
+    def _dual_reduction_loop(self, rng: SplittableRng, arrays: list[str]) -> list[str]:
+        """Two private accumulators in one loop (both widen independently)."""
+        lines = [
+            "double comp2 = 0.0;",
+            "for (int i = 0; i < n; ++i) {",
+            f"  comp += {self._mul_term(rng, arrays)};",
+            f"  comp2 += {self._lane_term(rng, arrays)};",
+            "}",
+            f"comp {rng.choice(['+=', '-='])} comp2;",
+        ]
+        return lines
+
+    def _guarded_loop(self, rng: SplittableRng, arrays: list[str]) -> list[str]:
+        """A conditional update the vectorizer must refuse (no masking)."""
+        arr = rng.choice(arrays)
+        return [
+            "for (int i = 0; i < n; ++i) {",
+            f"  if ({arr}[i] > 0.0) {{",
+            f"    comp += {arr}[i];",
+            "  }",
+            "}",
+        ]
+
+    # -- loop-body expressions ---------------------------------------------------
+
+    def _map_expr(self, rng: SplittableRng) -> str:
+        """Element-wise transform for the map loop ``b[i] = ...``."""
+        roll = rng.random()
+        if roll < 0.4:
+            return "a[i] * s"
+        if roll < 0.7:
+            return f"{rng.choice(_SAFE_CALLS)}(a[i])"
+        return "a[i] + s"
+
+    def _mul_term(self, rng: SplittableRng, arrays: list[str]) -> str:
+        """A dot-product-style term: array reads scaled/multiplied."""
+        a = rng.choice(arrays)
+        roll = rng.random()
+        if roll < 0.35 and len(arrays) == 2:
+            return "a[i] * b[i]"
+        if roll < 0.55:
+            return f"{a}[i] * s"
+        if roll < 0.75:
+            return self._lane_term(rng, arrays)
+        return f"{a}[i]"
+
+    def _lane_term(self, rng: SplittableRng, arrays: list[str]) -> str:
+        """A lane-stepped term: the induction variable feeds the math."""
+        fn = rng.choice(_SAFE_CALLS)
+        roll = rng.random()
+        if roll < 0.5:
+            return f"{fn}(s + i) * {rng.choice(arrays)}[i]"
+        if roll < 0.75:
+            return f"{fn}({rng.choice(arrays)}[i]) * 0.5"
+        return f"{rng.choice(arrays)}[i] * {fn}(s)"

@@ -121,6 +121,134 @@ class SiToFp:
     ty: str = "double"
 
 
+# -- vector expressions (produced only by the vectorization tier) -------------
+#
+# A vector value is a fixed-width tuple of lanes.  Vector nodes are never
+# produced by lowering — only :class:`~repro.ir.passes.vectorize.Vectorize`
+# introduces them — and the interpreter evaluates each lane through the
+# binary's FPEnvironment, so lane math is exactly as deterministic as the
+# scalar math it widens.
+
+
+@dataclass(frozen=True, slots=True)
+class VecConst:
+    """A literal vector, e.g. the reduction identity ``(0.0, 0.0, ...)``."""
+
+    values: tuple[float, ...]
+    ty: str = "double"  # element type
+
+    @property
+    def lanes(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True, slots=True)
+class VecSplat:
+    """Broadcast of a loop-invariant scalar expression into every lane."""
+
+    operand: "Expr"
+    lanes: int
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class VecIota:
+    """The lane-stepped induction vector ``(base, base+1, ..., base+lanes-1)``.
+
+    This is how a use of the induction variable inside a widened loop body
+    survives vectorization: lane *j* observes ``i + j``.
+    """
+
+    base: "Expr"  # int expression (the scalar induction variable)
+    lanes: int
+
+
+@dataclass(frozen=True, slots=True)
+class VecLoad:
+    """A unit-stride vector load: elements ``name[index .. index+lanes-1]``."""
+
+    name: str
+    index: "Expr"
+    lanes: int
+    ty: str  # element type
+
+
+@dataclass(frozen=True, slots=True)
+class VecBin:
+    """Lane-wise arithmetic; each lane rounds independently, like SIMD."""
+
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+    lanes: int
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class VecNeg:
+    operand: "Expr"
+    lanes: int
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class VecFma:
+    """Lane-wise fused multiply-add (a widened :class:`Fma` site)."""
+
+    a: "Expr"
+    b: "Expr"
+    c: "Expr"
+    lanes: int
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class VecCall:
+    """Lane-wise math-library call (each lane calls the binary's libm)."""
+
+    name: str
+    args: tuple["Expr", ...]
+    lanes: int
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class VecSiToFp:
+    """Lane-wise int -> float conversion (widened ``SiToFp``)."""
+
+    operand: "Expr"
+    lanes: int
+    ty: str = "double"
+
+
+#: Horizontal-reduction shapes.  The *shape* is the observable: each one
+#: combines the same lanes in a different association order, so two
+#: binaries reducing the same data with different shapes (or widths)
+#: round differently and bitwise-diverge.
+REDUCE_STYLES = ("adjacent", "butterfly", "ladder")
+
+
+@dataclass(frozen=True, slots=True)
+class VecReduce:
+    """Horizontal reduction of a vector to one scalar.
+
+    Styles (see :data:`REDUCE_STYLES`):
+
+    * ``adjacent``  — pairwise neighbours per round: ``(l0+l1)+(l2+l3)``
+      (SSE/AVX ``haddpd``-style; the gcc model).
+    * ``butterfly`` — recursive halves: ``(l0+l2)+(l1+l3)`` for width 4
+      (warp ``shfl_down``-style; the nvcc model).
+    * ``ladder``    — sequential extract-and-accumulate:
+      ``((l0+l1)+l2)+l3`` (scalarized extraction; the clang model).
+    """
+
+    op: str  # + *
+    operand: "Expr"
+    lanes: int
+    ty: str = "double"
+    style: str = "adjacent"
+
+
 @dataclass(frozen=True, slots=True)
 class FpToSi:
     operand: "Expr"
@@ -159,14 +287,38 @@ Expr = Union[
     FpToSi,
     FpExt,
     FpTrunc,
+    VecConst,
+    VecSplat,
+    VecIota,
+    VecLoad,
+    VecBin,
+    VecNeg,
+    VecFma,
+    VecCall,
+    VecSiToFp,
+    VecReduce,
 ]
 
 _FP_NODES = (FConst, FBin, FNeg, Fma, FCall, SiToFp, FpExt, FpTrunc)
 
+#: Every vector-valued node (``VecReduce`` consumes a vector but produces
+#: a scalar, so it is *not* in this set).
+VECTOR_NODES = (
+    VecConst, VecSplat, VecIota, VecLoad, VecBin, VecNeg, VecFma, VecCall, VecSiToFp
+)
+
+#: Every node of the vector tier, vector-valued or not — the isinstance
+#: filter shared by the interpreter's dispatch and the devectorizer.
+ANY_VECTOR_NODES = VECTOR_NODES + (VecReduce,)
+
 
 def expr_type(e: Expr) -> str:
-    """Static type of an IR expression: 'int', 'float' or 'double'."""
-    if isinstance(e, (IConst, IBin, INeg, Compare, Logic, Not, FpToSi)):
+    """Static *element* type of an IR expression: 'int', 'float' or 'double'.
+
+    Vector nodes report their lane type; use :func:`lanes_of` to tell a
+    vector from a scalar.
+    """
+    if isinstance(e, (IConst, IBin, INeg, Compare, Logic, Not, FpToSi, VecIota)):
         return "int"
     if isinstance(e, (Load, LoadElem)):
         return e.ty
@@ -176,34 +328,46 @@ def expr_type(e: Expr) -> str:
         return "float"
     if isinstance(e, Select):
         return e.ty
-    return e.ty  # FConst, FBin, FNeg, Fma, FCall, SiToFp
+    return e.ty  # FConst, FBin, FNeg, Fma, FCall, SiToFp, Vec*
 
 
 def is_fp(e: Expr) -> bool:
     return expr_type(e) in ("float", "double")
 
 
+def lanes_of(e: Expr) -> int:
+    """Vector width of an expression's value (1 for scalars)."""
+    if isinstance(e, VECTOR_NODES):
+        return e.lanes if not isinstance(e, VecConst) else len(e.values)
+    return 1
+
+
 def walk(e: Expr):
     """Yield ``e`` and all sub-expressions, pre-order."""
     yield e
-    if isinstance(e, (FBin, IBin, Compare, Logic)):
+    if isinstance(e, (FBin, IBin, Compare, Logic, VecBin)):
         yield from walk(e.left)
         yield from walk(e.right)
-    elif isinstance(e, (FNeg, INeg, Not, SiToFp, FpToSi, FpExt, FpTrunc)):
+    elif isinstance(
+        e,
+        (FNeg, INeg, Not, SiToFp, FpToSi, FpExt, FpTrunc, VecSplat, VecNeg, VecSiToFp, VecReduce),
+    ):
         yield from walk(e.operand)
-    elif isinstance(e, Fma):
+    elif isinstance(e, (Fma, VecFma)):
         yield from walk(e.a)
         yield from walk(e.b)
         yield from walk(e.c)
-    elif isinstance(e, FCall):
+    elif isinstance(e, (FCall, VecCall)):
         for a in e.args:
             yield from walk(a)
     elif isinstance(e, Select):
         yield from walk(e.cond)
         yield from walk(e.then)
         yield from walk(e.other)
-    elif isinstance(e, LoadElem):
+    elif isinstance(e, (LoadElem, VecLoad)):
         yield from walk(e.index)
+    elif isinstance(e, VecIota):
+        yield from walk(e.base)
 
 
 # ----------------------------------------------------------------------- statements
@@ -232,6 +396,21 @@ class SStoreElem:
     index: Expr
     value: Expr
     elem_ty: str
+
+
+@dataclass(frozen=True, slots=True)
+class SVecStore:
+    """Unit-stride vector store: ``name[index .. index+lanes-1] = value``.
+
+    ``value`` must be a vector expression of the same width; produced only
+    by the vectorizer when it widens a map loop's element store.
+    """
+
+    name: str
+    index: Expr
+    value: Expr
+    elem_ty: str
+    lanes: int = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -270,7 +449,9 @@ class SReturn:
     pass
 
 
-Stmt = Union[SAssign, SDeclArray, SStoreElem, SIf, SFor, SWhile, SPrint, SReturn]
+Stmt = Union[
+    SAssign, SDeclArray, SStoreElem, SVecStore, SIf, SFor, SWhile, SPrint, SReturn
+]
 
 
 def walk_stmts(stmts: tuple[Stmt, ...]):
@@ -294,7 +475,7 @@ def stmt_exprs(s: Stmt):
         yield s.value
     elif isinstance(s, SDeclArray) and s.init is not None:
         yield from s.init
-    elif isinstance(s, SStoreElem):
+    elif isinstance(s, (SStoreElem, SVecStore)):
         yield s.index
         yield s.value
     elif isinstance(s, SIf):

@@ -10,18 +10,22 @@ model is just an ordered pipeline of these.
 from repro.ir.passes.base import Pass, PassPipeline
 from repro.ir.passes.constant_fold import ConstantFold
 from repro.ir.passes.fma_contract import FmaContract
+from repro.ir.passes.loop_unroll import LoopUnroll
 from repro.ir.passes.reassociate import Reassociate
 from repro.ir.passes.recip_div import ReciprocalDivision
 from repro.ir.passes.finite_math import FiniteMathSimplify
 from repro.ir.passes.func_subst import FunctionSubstitution
+from repro.ir.passes.vectorize import Vectorize
 
 __all__ = [
     "Pass",
     "PassPipeline",
     "ConstantFold",
     "FmaContract",
+    "LoopUnroll",
     "Reassociate",
     "ReciprocalDivision",
     "FiniteMathSimplify",
     "FunctionSubstitution",
+    "Vectorize",
 ]

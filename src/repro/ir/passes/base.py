@@ -38,6 +38,32 @@ def rebuild_expr(e: ir.Expr, fn) -> ir.Expr:
         )
     elif isinstance(e, ir.LoadElem):
         e = ir.LoadElem(e.name, rebuild_expr(e.index, fn), e.ty)
+    elif isinstance(e, ir.VecBin):
+        e = ir.VecBin(
+            e.op, rebuild_expr(e.left, fn), rebuild_expr(e.right, fn), e.lanes, e.ty
+        )
+    elif isinstance(e, ir.VecNeg):
+        e = ir.VecNeg(rebuild_expr(e.operand, fn), e.lanes, e.ty)
+    elif isinstance(e, ir.VecFma):
+        e = ir.VecFma(
+            rebuild_expr(e.a, fn),
+            rebuild_expr(e.b, fn),
+            rebuild_expr(e.c, fn),
+            e.lanes,
+            e.ty,
+        )
+    elif isinstance(e, ir.VecSplat):
+        e = ir.VecSplat(rebuild_expr(e.operand, fn), e.lanes, e.ty)
+    elif isinstance(e, ir.VecSiToFp):
+        e = ir.VecSiToFp(rebuild_expr(e.operand, fn), e.lanes, e.ty)
+    elif isinstance(e, ir.VecIota):
+        e = ir.VecIota(rebuild_expr(e.base, fn), e.lanes)
+    elif isinstance(e, ir.VecLoad):
+        e = ir.VecLoad(e.name, rebuild_expr(e.index, fn), e.lanes, e.ty)
+    elif isinstance(e, ir.VecCall):
+        e = ir.VecCall(e.name, tuple(rebuild_expr(a, fn) for a in e.args), e.lanes, e.ty)
+    elif isinstance(e, ir.VecReduce):
+        e = ir.VecReduce(e.op, rebuild_expr(e.operand, fn), e.lanes, e.ty, e.style)
     elif isinstance(e, (ir.SiToFp, ir.FpToSi, ir.FpExt, ir.FpTrunc)):
         cls = type(e)
         if isinstance(e, ir.SiToFp):
@@ -77,6 +103,8 @@ class ExprRewritePass(Pass):
             return ir.SDeclArray(s.name, s.size, s.elem_ty, init)
         if isinstance(s, ir.SStoreElem):
             return ir.SStoreElem(s.name, rw(s.index), rw(s.value), s.elem_ty)
+        if isinstance(s, ir.SVecStore):
+            return ir.SVecStore(s.name, rw(s.index), rw(s.value), s.elem_ty, s.lanes)
         if isinstance(s, ir.SIf):
             return ir.SIf(rw(s.cond), self._stmts(s.then), self._stmts(s.other))
         if isinstance(s, ir.SFor):

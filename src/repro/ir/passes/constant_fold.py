@@ -43,6 +43,16 @@ def _assigned_names(stmts: tuple[ir.Stmt, ...]) -> set[str]:
 
 
 class ConstantFold(Pass):
+    """Compile-time evaluation of constant subexpressions.
+
+    ``fold_calls`` additionally folds constant-argument libm calls with a
+    *correctly rounded* compile-time evaluator (``libm``, MPFR in a real
+    compiler) — which may differ from the runtime library by an ulp, a
+    modeled divergence source.  ``propagate`` lets const-initialized
+    locals reach later use sites before folding (the clang model's more
+    aggressive variant); without it only literal operands fold.
+    """
+
     name = "constant-fold"
 
     def __init__(

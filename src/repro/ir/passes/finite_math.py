@@ -23,6 +23,10 @@ def _is_const(e: ir.Expr, value: float) -> bool:
 
 
 class FiniteMathSimplify(ExprRewritePass):
+    """Finite-math-only algebraic simplifications (``-ffinite-math-only``):
+    identities like ``x - x -> 0`` and ``0 * x -> 0`` that are wrong in
+    the presence of NaN/Inf inputs — exactly where they diverge."""
+
     name = "finite-math"
 
     def rewrite(self, e: ir.Expr) -> ir.Expr:

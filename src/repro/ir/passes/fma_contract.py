@@ -27,6 +27,10 @@ __all__ = ["FmaContract"]
 
 
 class FmaContract(ExprRewritePass):
+    """Contract ``a*b + c`` into single-rounding :class:`~repro.ir.nodes.Fma`
+    nodes at a deterministic, structure-hashed fraction (``site_prob``) of
+    eligible sites — the ptxas selective-fusion model."""
+
     name = "fma-contract"
 
     def __init__(self, site_prob: float = 1.0) -> None:

@@ -20,6 +20,12 @@ __all__ = ["FunctionSubstitution"]
 
 
 class FunctionSubstitution(ExprRewritePass):
+    """Fast-math call replacement: small-integer ``pow`` exponents expand
+    into multiply chains (up to ``max_pow_expand``), and ``pow(x, 0.5)``
+    becomes ``sqrt(x)`` when ``pow_half_to_sqrt`` — each substitution
+    swaps one correctly-rounded call for differently-rounded arithmetic.
+    """
+
     name = "func-subst"
 
     def __init__(self, max_pow_expand: int = 4, pow_half_to_sqrt: bool = True) -> None:

@@ -45,6 +45,11 @@ def _rank(e: ir.Expr) -> str:
 
 
 class Reassociate(ExprRewritePass):
+    """Fast-math regrouping of >=3-term ``+``/``*`` chains: ``balanced``
+    reduces as a pairwise tree (the gcc model), ``ranked`` sorts operands
+    by structural hash and folds left (the clang model) — any regrouping
+    changes intermediate roundings."""
+
     name = "reassociate"
 
     def __init__(self, style: str = "balanced") -> None:

@@ -15,6 +15,10 @@ __all__ = ["ReciprocalDivision"]
 
 
 class ReciprocalDivision(ExprRewritePass):
+    """Fast-math ``x / y  ->  x * (1.0 / y)``: two roundings instead of
+    one, so quotients drift by an ulp — and the reciprocal can overflow
+    or flush where the direct division would not."""
+
     name = "recip-div"
 
     def __init__(self, constants_only: bool = False) -> None:

@@ -1,0 +1,429 @@
+"""Auto-vectorization of innermost reduction and map loops.
+
+``Vectorize(width=W)`` widens a counted loop
+
+    for (i = L; i < B; ++i) { acc = acc + E(i);  a[i] = M(i); }
+
+into the classic three-piece shape every auto-vectorizer emits:
+
+1. a **runtime guard** — the vector body only runs while at least one
+   full vector of trips remains (``i + (W-1) < B``), so short loops are
+   bitwise-untouched;
+2. a **vector main loop** — each reduction gets a private ``W``-lane
+   partial accumulator (``acc__vW``) initialized to the identity and
+   updated lane-wise; each map store becomes a unit-stride vector store;
+3. a **horizontal reduction + scalar epilogue** — the lane partials
+   collapse through a :class:`~repro.ir.nodes.VecReduce` of this
+   compiler's ``style``, combine into the scalar accumulator, and the
+   remaining ``B mod W`` trips run the original scalar body.
+
+The *observable* of this tier is the reassociation in steps 2–3: a scalar
+reduction folds strictly left (``((s+x0)+x1)+x2...``) while the vector
+form sums every ``W``-th element per lane and then tree-reduces the
+lanes.  Both are deterministic — each is a fixed association order
+evaluated through the binary's FPEnvironment — but they round
+differently, which is why vectorized sums bitwise-diverge from scalar
+ones (and from each other across widths and reduction styles).  Map
+stores, by contrast, are lane-wise identical to scalar execution and
+introduce no divergence.
+
+SLP packing: when the loop was already unrolled by
+:class:`~repro.ir.passes.loop_unroll.LoopUnroll` with factor ``W`` (a
+stride-``W`` loop of ``W`` isomorphic statement copies), the vectorizer
+re-rolls the copies and widens the canonical one, so
+``unroll(W) -> vectorize(W)`` produces exactly the kernel that
+``vectorize(W)`` alone would — the pass-ordering property the tests pin.
+"""
+
+from __future__ import annotations
+
+from repro.ir import nodes as ir
+from repro.ir.passes.base import Pass
+from repro.ir.passes.loop_unroll import (
+    CountedLoop,
+    _straight_line,
+    match_counted_loop,
+    substitute_induction,
+)
+
+__all__ = ["Vectorize"]
+
+#: Reduction ops the vectorizer accepts, with their lane-accumulation op,
+#: identity, horizontal-reduce op and scalar combine op.
+_REDUCTIONS = {
+    "+": ("+", 0.0, "+", "+"),
+    "-": ("+", 0.0, "+", "-"),  # c -= e  ==>  c = c - sum(e)
+    "*": ("*", 1.0, "*", "*"),
+}
+
+
+class _Reduction:
+    """One recognized reduction statement ``acc = acc op E``."""
+
+    __slots__ = ("acc", "op", "expr", "ty")
+
+    def __init__(self, acc: str, op: str, expr: ir.Expr, ty: str) -> None:
+        self.acc = acc
+        self.op = op
+        self.expr = expr
+        self.ty = ty
+
+
+class Vectorize(Pass):
+    """SLP-style widening of innermost reduction/map loops.
+
+    >>> from repro.ir.passes.vectorize import Vectorize
+    >>> Vectorize(width=4, style="adjacent").name
+    'vectorize'
+    """
+
+    name = "vectorize"
+
+    def __init__(self, width: int = 4, style: str = "adjacent") -> None:
+        if width < 2:
+            raise ValueError("vector width must be >= 2")
+        if style not in ir.REDUCE_STYLES:
+            raise ValueError(
+                f"unknown reduce style {style!r}; expected one of {ir.REDUCE_STYLES}"
+            )
+        self.width = width
+        self.style = style
+
+    def run(self, kernel: ir.Kernel) -> ir.Kernel:
+        self._taken: set[str] = set(kernel.var_types)
+        for s in ir.walk_stmts(kernel.body):
+            if isinstance(s, ir.SAssign):
+                self._taken.add(s.name)
+        return kernel.with_body(self._stmts(kernel.body))
+
+    # -- traversal ---------------------------------------------------------------
+
+    def _stmts(self, stmts: tuple[ir.Stmt, ...]) -> tuple[ir.Stmt, ...]:
+        out: list[ir.Stmt] = []
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            i += 1
+            if isinstance(s, ir.SIf):
+                out.append(ir.SIf(s.cond, self._stmts(s.then), self._stmts(s.other)))
+                continue
+            if isinstance(s, ir.SWhile):
+                out.append(ir.SWhile(s.cond, self._stmts(s.body)))
+                continue
+            if isinstance(s, ir.SFor):
+                following = stmts[i] if i < len(stmts) else None
+                replaced = self._loop(s, following)
+                if replaced is not None:
+                    out.extend(replaced)
+                    # The SLP path only fires when `following` is the
+                    # unroller's scalar epilogue — identical to our own
+                    # emitted epilogue (the last replaced statement), so
+                    # the duplicate is consumed and unroll(W) ->
+                    # vectorize(W) rebuilds the very kernel vectorize(W)
+                    # alone produces.
+                    if following is not None and following == replaced[-1]:
+                        i += 1
+                else:
+                    out.append(
+                        ir.SFor(s.init, s.cond, self._stmts(s.step), self._stmts(s.body))
+                    )
+                continue
+            out.append(s)
+        return tuple(out)
+
+    # -- recognition -------------------------------------------------------------
+
+    def _loop(self, s: ir.SFor, following: ir.Stmt | None) -> list[ir.Stmt] | None:
+        loop = match_counted_loop(s)
+        if loop is None or not loop.body:
+            return None
+        if loop.stride == 1 and loop.guard_offset == 0:
+            body = loop.body
+        elif loop.stride == self.width and loop.guard_offset == self.width - 1:
+            body = self._reroll(loop)
+            if body is None:
+                return None
+            # Only genuine LoopUnroll output may re-roll: the unroller
+            # always emits its scalar epilogue right after the strided
+            # loop, and our rewrite consumes that epilogue.  A *source*
+            # loop that happens to be stride-W has no epilogue — adding
+            # one would execute tail trips the original program skipped,
+            # changing semantics, so such loops stay scalar.
+            if following != self._scalar_epilogue(loop, body):
+                return None
+        else:
+            return None
+        plan = self._plan(body, loop)
+        if plan is None:
+            return None
+        return self._emit(loop, body, plan)
+
+    @staticmethod
+    def _scalar_epilogue(loop: CountedLoop, body: tuple[ir.Stmt, ...]) -> ir.SFor:
+        """The canonical remainder loop — both what :class:`LoopUnroll`
+        emits after a strided main loop and what :meth:`_emit` appends."""
+        var = loop.var
+        return ir.SFor(
+            init=(),
+            cond=ir.Compare("<", ir.Load(var, "int"), loop.bound, fp=False),
+            step=(
+                ir.SAssign(var, ir.IBin("+", ir.Load(var, "int"), ir.IConst(1)), "int"),
+            ),
+            body=body,
+        )
+
+    def _reroll(self, loop: CountedLoop) -> tuple[ir.Stmt, ...] | None:
+        """Undo a factor-``width`` unroll: ``width`` isomorphic copies of a
+        canonical group collapse back to the group (SLP pack detection)."""
+        w = self.width
+        if len(loop.body) % w or not _straight_line(loop.body):
+            return None
+        group = len(loop.body) // w
+        canonical = loop.body[:group]
+        for j in range(1, w):
+            copy = loop.body[j * group : (j + 1) * group]
+            expected = tuple(substitute_induction(st, loop.var, j) for st in canonical)
+            if copy != expected:
+                return None
+        return canonical
+
+    def _plan(
+        self, body: tuple[ir.Stmt, ...], loop: CountedLoop
+    ) -> list[tuple[str, object]] | None:
+        """Classify every body statement as a reduction or a map store."""
+        accs: set[str] = set()
+        plan: list[tuple[str, object]] = []
+        for st in body:
+            if isinstance(st, ir.SAssign):
+                red = self._as_reduction(st)
+                if red is None or red.acc in accs or red.acc == loop.var:
+                    return None
+                accs.add(red.acc)
+                plan.append(("reduce", red))
+            elif isinstance(st, ir.SStoreElem):
+                if not (
+                    isinstance(st.index, ir.Load) and st.index.name == loop.var
+                ):
+                    return None
+                plan.append(("map", st))
+            else:
+                return None
+        # Accumulators must be private to their own statement: any other
+        # read (in a map value, another reduction's expression) blocks.
+        for st, (kind, payload) in zip(body, plan):
+            expr = payload.expr if kind == "reduce" else st.value
+            for e in ir.walk(expr):
+                if isinstance(e, ir.Load) and e.name in accs:
+                    return None
+        # The bound variable must not be stored through a vectorized map
+        # (it is re-read by the loop condition).
+        if isinstance(loop.bound, ir.Load):
+            for kind, payload in plan:
+                if kind == "map" and payload.name == loop.bound.name:
+                    return None
+        # No loop-carried memory dependence: if the body stores to an
+        # array, every read of that array must sit exactly at the store's
+        # index ``i`` — an offset read (``a[i-1]``) would observe values a
+        # previous scalar iteration wrote, which lanes executed together
+        # cannot reproduce.  Real vectorizers reject this in dependence
+        # analysis; so do we.
+        stored = {payload.name for kind, payload in plan if kind == "map"}
+        if stored:
+            for kind, payload in plan:
+                expr = payload.expr if kind == "reduce" else payload.value
+                for e in ir.walk(expr):
+                    if isinstance(e, ir.LoadElem) and e.name in stored:
+                        if not (
+                            isinstance(e.index, ir.Load)
+                            and e.index.name == loop.var
+                        ):
+                            return None
+        # Every expression must widen.
+        for kind, payload in plan:
+            expr = payload.expr if kind == "reduce" else payload.value
+            if self._widen(expr, loop.var) is None:
+                return None
+        return plan
+
+    def _as_reduction(self, st: ir.SAssign) -> _Reduction | None:
+        v = st.value
+        if not isinstance(v, ir.FBin) or v.op not in _REDUCTIONS or v.ty != st.ty:
+            return None
+        if st.ty not in ("float", "double"):
+            return None
+        left_is_acc = isinstance(v.left, ir.Load) and v.left.name == st.name
+        right_is_acc = isinstance(v.right, ir.Load) and v.right.name == st.name
+        if left_is_acc and not self._reads(v.right, st.name):
+            return _Reduction(st.name, v.op, v.right, st.ty)
+        if right_is_acc and v.op in ("+", "*") and not self._reads(v.left, st.name):
+            return _Reduction(st.name, v.op, v.left, st.ty)
+        return None
+
+    @staticmethod
+    def _reads(e: ir.Expr, name: str) -> bool:
+        return any(
+            isinstance(sub, ir.Load) and sub.name == name for sub in ir.walk(e)
+        )
+
+    # -- widening ----------------------------------------------------------------
+
+    def _affine(self, e: ir.Expr, var: str) -> ir.Expr | None:
+        """Unit-coefficient affine index in ``var``: returns the lane-0
+        base expression, or None if ``e`` is not ``var (+/- invariant)``."""
+        if isinstance(e, ir.Load) and e.name == var:
+            return e
+        if isinstance(e, ir.IBin) and e.op in ("+", "-"):
+            li = self._uses_var(e.left, var)
+            ri = self._uses_var(e.right, var)
+            if li and not ri:
+                base = self._affine(e.left, var)
+                if base is None:
+                    return None
+                return ir.IBin(e.op, base, e.right)
+            if ri and not li and e.op == "+":
+                base = self._affine(e.right, var)
+                if base is None:
+                    return None
+                return ir.IBin("+", e.left, base)
+        return None
+
+    @staticmethod
+    def _uses_var(e: ir.Expr, var: str) -> bool:
+        return any(
+            isinstance(sub, ir.Load) and sub.name == var for sub in ir.walk(e)
+        )
+
+    def _widen(self, e: ir.Expr, var: str) -> ir.Expr | None:
+        """Rewrite a scalar body expression into its ``width``-lane form.
+
+        Loop-invariant subtrees broadcast (:class:`~repro.ir.nodes.VecSplat`),
+        unit-stride element reads become :class:`~repro.ir.nodes.VecLoad`,
+        and uses of the induction variable step per lane through
+        :class:`~repro.ir.nodes.VecIota`.  Anything else (conditionals,
+        non-affine indices, already-vector nodes) rejects the loop.
+        """
+        w = self.width
+        if not self._uses_var(e, var):
+            # Loop-invariant: broadcast the whole subtree unwidened.  Only
+            # valid for scalar expressions of known element type.
+            if isinstance(e, ir.ANY_VECTOR_NODES):
+                return None
+            ty = ir.expr_type(e)
+            if ty == "int":
+                return None
+            return ir.VecSplat(e, w, ty)
+        if isinstance(e, ir.LoadElem):
+            base = self._affine(e.index, var)
+            if base is None:
+                return None
+            return ir.VecLoad(e.name, base, w, e.ty)
+        if isinstance(e, ir.SiToFp):
+            base = self._affine(e.operand, var)
+            if base is None:
+                return None
+            return ir.VecSiToFp(ir.VecIota(base, w), w, e.ty)
+        if isinstance(e, ir.FBin):
+            left = self._widen(e.left, var)
+            right = self._widen(e.right, var)
+            if left is None or right is None:
+                return None
+            return ir.VecBin(e.op, left, right, w, e.ty)
+        if isinstance(e, ir.FNeg):
+            inner = self._widen(e.operand, var)
+            if inner is None:
+                return None
+            return ir.VecNeg(inner, w, e.ty)
+        if isinstance(e, ir.Fma):
+            a = self._widen(e.a, var)
+            b = self._widen(e.b, var)
+            c = self._widen(e.c, var)
+            if a is None or b is None or c is None:
+                return None
+            return ir.VecFma(a, b, c, w, e.ty)
+        if isinstance(e, ir.FCall):
+            args = [self._widen(a, var) for a in e.args]
+            if any(a is None for a in args):
+                return None
+            return ir.VecCall(e.name, tuple(args), w, e.ty)
+        return None
+
+    # -- emission ----------------------------------------------------------------
+
+    def _lane_var(self, acc: str) -> str:
+        base = f"{acc}__v{self.width}"
+        name = base
+        n = 1
+        while name in self._taken:
+            n += 1
+            name = f"{base}_{n}"
+        self._taken.add(name)
+        return name
+
+    def _emit(
+        self,
+        loop: CountedLoop,
+        body: tuple[ir.Stmt, ...],
+        plan: list[tuple[str, object]],
+    ) -> list[ir.Stmt]:
+        w = self.width
+        var = loop.var
+        guard = ir.Compare(
+            "<", ir.IBin("+", ir.Load(var, "int"), ir.IConst(w - 1)), loop.bound, False
+        )
+        lane_inits: list[ir.Stmt] = []
+        vector_body: list[ir.Stmt] = []
+        finals: list[ir.Stmt] = []
+        for kind, payload in plan:
+            if kind == "map":
+                st = payload
+                widened = self._widen(st.value, var)
+                vector_body.append(
+                    ir.SVecStore(st.name, ir.Load(var, "int"), widened, st.elem_ty, w)
+                )
+                continue
+            red = payload
+            lane_op, identity, reduce_op, combine_op = _REDUCTIONS[red.op]
+            vacc = self._lane_var(red.acc)
+            lane_inits.append(
+                ir.SAssign(vacc, ir.VecConst((identity,) * w, red.ty), red.ty)
+            )
+            vector_body.append(
+                ir.SAssign(
+                    vacc,
+                    ir.VecBin(
+                        lane_op,
+                        ir.Load(vacc, red.ty),
+                        self._widen(red.expr, var),
+                        w,
+                        red.ty,
+                    ),
+                    red.ty,
+                )
+            )
+            finals.append(
+                ir.SAssign(
+                    red.acc,
+                    ir.FBin(
+                        combine_op,
+                        ir.Load(red.acc, red.ty),
+                        ir.VecReduce(
+                            reduce_op, ir.Load(vacc, red.ty), w, red.ty, self.style
+                        ),
+                        red.ty,
+                    ),
+                    red.ty,
+                )
+            )
+        main = ir.SFor(
+            init=(),
+            cond=guard,
+            step=(
+                ir.SAssign(var, ir.IBin("+", ir.Load(var, "int"), ir.IConst(w)), "int"),
+            ),
+            body=tuple(vector_body),
+        )
+        return [
+            *loop.init,
+            ir.SIf(guard, (*lane_inits, main, *finals)),
+            self._scalar_epilogue(loop, body),
+        ]

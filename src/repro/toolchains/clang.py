@@ -11,6 +11,11 @@ Differences from the gcc model that drive gcc-vs-clang inconsistencies:
   column of the paper's Table 5 is the most level-sensitive host column;
 * like gcc, no FMA contraction for a baseline x86-64 target (clang 12
   defaults to ``-ffp-contract=off`` for C anyway);
+* from ``-O2`` the loop vectorizer engages at the same widths as gcc
+  (4 lanes at O2, 8 at O3) but reduces horizontally by sequential lane
+  extraction (``ladder``) rather than gcc's pairwise tree — the vector
+  analogue of clang's linear-chain canonicalization — so the two hosts
+  bitwise-diverge on vectorized reductions even at matching widths;
 * ``-ffast-math`` reassociates by operand rank (canonicalization) rather
   than gcc's balanced reduction, expands fewer pow special cases, and keeps
   ``pow(x, 0.5)`` as a call.
@@ -24,12 +29,14 @@ from repro.ir.passes import (
     ConstantFold,
     FiniteMathSimplify,
     FunctionSubstitution,
+    LoopUnroll,
     PassPipeline,
     Reassociate,
     ReciprocalDivision,
+    Vectorize,
 )
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import OptLevel
+from repro.toolchains.optlevels import OptLevel, vector_width_for
 
 __all__ = ["ClangCompiler"]
 
@@ -39,11 +46,25 @@ class ClangCompiler(Compiler):
     kind = CompilerKind.HOST
     version = "12.0"
 
+    #: horizontal-reduction shape of the modeled clang vectorizer
+    REDUCE_STYLE = "ladder"
+
+    def _vector_passes(self, level: OptLevel) -> list:
+        width = vector_width_for(self.name, level)
+        if not width:
+            return []
+        return [LoopUnroll(width), Vectorize(width, style=self.REDUCE_STYLE)]
+
     def pipeline(self, level: OptLevel) -> PassPipeline:
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):
             return PassPipeline([ConstantFold(fold_calls=True, propagate=False)])
         if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
-            return PassPipeline([ConstantFold(fold_calls=True, propagate=True)])
+            return PassPipeline(
+                [
+                    ConstantFold(fold_calls=True, propagate=True),
+                    *self._vector_passes(level),
+                ]
+            )
         return PassPipeline(
             [
                 ConstantFold(fold_calls=True, propagate=True),
@@ -51,16 +72,20 @@ class ClangCompiler(Compiler):
                 ReciprocalDivision(),
                 Reassociate(style="ranked"),
                 FiniteMathSimplify(),
+                *self._vector_passes(level),
             ]
         )
 
     def cache_token(self, level: OptLevel) -> str:
         # Mirrors :meth:`pipeline`: front-end folding at O0/O0_nofma,
-        # propagating folding at O1..O3, the fast-math pipeline on top.
+        # propagating folding at O1, vectorization widths splitting O2
+        # and O3, the fast-math pipeline on top.
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):
             return "O0"
-        if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
-            return "O1-O3"
+        if level is OptLevel.O1:
+            return "O1"
+        if level in (OptLevel.O2, OptLevel.O3):
+            return f"{level}+vec{vector_width_for(self.name, level)}"
         return "O3_fastmath"
 
     def environment(self, level: OptLevel) -> FPEnvironment:

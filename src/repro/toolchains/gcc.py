@@ -10,9 +10,13 @@ Mechanisms (see DESIGN.md "mechanism map"):
 * from ``-O1`` folds constant-argument libm calls with a correctly rounded
   compile-time evaluator (MPFR in real gcc), which may differ from the
   runtime glibc result by an ulp;
+* from ``-O2`` the loop vectorizer engages (4 lanes at O2, 8 at O3): the
+  enabling unroll then SLP widening of innermost reduction/map loops, with
+  ``adjacent`` (haddpd-style pairwise) horizontal reductions — the
+  vector-tier counterpart of gcc's balanced-tree reassociation;
 * ``-ffast-math`` adds reciprocal math, pow expansion (including
   ``pow(x, 0.5) -> sqrt``), balanced-tree reassociation, and
-  finite-math-only simplifications.
+  finite-math-only simplifications, then vectorizes at the full 8 lanes.
 """
 
 from __future__ import annotations
@@ -23,12 +27,14 @@ from repro.ir.passes import (
     ConstantFold,
     FiniteMathSimplify,
     FunctionSubstitution,
+    LoopUnroll,
     PassPipeline,
     Reassociate,
     ReciprocalDivision,
+    Vectorize,
 )
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import OptLevel
+from repro.toolchains.optlevels import OptLevel, vector_width_for
 
 __all__ = ["GccCompiler"]
 
@@ -38,11 +44,25 @@ class GccCompiler(Compiler):
     kind = CompilerKind.HOST
     version = "9.4"
 
+    #: horizontal-reduction shape of the modeled gcc vectorizer
+    REDUCE_STYLE = "adjacent"
+
+    def _vector_passes(self, level: OptLevel) -> list:
+        width = vector_width_for(self.name, level)
+        if not width:
+            return []
+        return [LoopUnroll(width), Vectorize(width, style=self.REDUCE_STYLE)]
+
     def pipeline(self, level: OptLevel) -> PassPipeline:
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):
             return PassPipeline()
         if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
-            return PassPipeline([ConstantFold(fold_calls=True, propagate=False)])
+            return PassPipeline(
+                [
+                    ConstantFold(fold_calls=True, propagate=False),
+                    *self._vector_passes(level),
+                ]
+            )
         return PassPipeline(
             [
                 ConstantFold(fold_calls=True, propagate=False),
@@ -50,16 +70,20 @@ class GccCompiler(Compiler):
                 ReciprocalDivision(),
                 Reassociate(style="balanced"),
                 FiniteMathSimplify(),
+                *self._vector_passes(level),
             ]
         )
 
     def cache_token(self, level: OptLevel) -> str:
-        # Three (pipeline, environment) classes: no passes at O0/O0_nofma,
-        # literal constant folding at O1..O3 (all + glibc), fast-math.
+        # Five (pipeline, environment) classes: no passes at O0/O0_nofma,
+        # literal constant folding at O1, folding + 4-lane vectorization
+        # at O2, 8-lane at O3, the fast-math pipeline on top.
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):
             return "O0"
-        if level in (OptLevel.O1, OptLevel.O2, OptLevel.O3):
-            return "O1-O3"
+        if level is OptLevel.O1:
+            return "O1"
+        if level in (OptLevel.O2, OptLevel.O3):
+            return f"{level}+vec{vector_width_for(self.name, level)}"
         return "O3_fastmath"
 
     def environment(self, level: OptLevel) -> FPEnvironment:

@@ -12,6 +12,13 @@ device semantics:
   the nvcc default; only the explicit ``--fmad=false`` disables it) — hence
   the paper's flat nvcc rows in Tables 4/5 and the nonzero nvcc O0 vs
   O0_nofma entry in Table 5;
+* models the CUDA port's **warp-level reduction**: innermost reduction
+  loops widen to :data:`~repro.toolchains.optlevels.WARP_WIDTH` (32)
+  lanes with a ``butterfly`` (``shfl_down``-style) horizontal reduction.
+  The warp structure is a property of the translation, not of an
+  optimization level, so — like FMA contraction — it applies at every
+  level except the explicit most-IEEE baseline ``O0_nofma``, keeping the
+  nvcc column flat across O0..O3;
 * under ``--use_fast_math`` the *single-precision* pipeline additionally
   flushes subnormals to zero and uses approximate division/square root and
   hardware intrinsics; double-precision math is unaffected (matching CUDA's
@@ -24,9 +31,9 @@ from __future__ import annotations
 from repro.fp.env import FPEnvironment
 from repro.fp.formats import Precision
 from repro.fp.mathlib import CudaLibm, FastCudaLibm
-from repro.ir.passes import FmaContract, PassPipeline
+from repro.ir.passes import FmaContract, PassPipeline, Vectorize
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import OptLevel
+from repro.toolchains.optlevels import WARP_WIDTH, OptLevel
 
 __all__ = ["NvccCompiler"]
 
@@ -50,16 +57,25 @@ class NvccCompiler(Compiler):
         self.precision = precision
         self.fmad_prob = fmad_prob
 
+    #: warp reductions combine lanes shfl_down-style (recursive halves)
+    REDUCE_STYLE = "butterfly"
+
     def pipeline(self, level: OptLevel) -> PassPipeline:
         if level is OptLevel.O0_NOFMA:
             return PassPipeline()
-        return PassPipeline([FmaContract(site_prob=self.fmad_prob)])
+        return PassPipeline(
+            [
+                FmaContract(site_prob=self.fmad_prob),
+                Vectorize(WARP_WIDTH, style=self.REDUCE_STYLE),
+            ]
+        )
 
     def cache_token(self, level: OptLevel) -> str:
-        # One FmaContract pipeline everywhere except O0_nofma; fast math
-        # changes the environment only for single-precision kernels.  The
-        # token carries the instance knobs because cache keys include only
-        # the family name, and two NvccCompiler instances may differ.
+        # One FmaContract+Vectorize pipeline everywhere except O0_nofma;
+        # fast math changes the environment only for single-precision
+        # kernels.  The token carries the instance knobs because cache keys
+        # include only the family name, and two NvccCompiler instances may
+        # differ.
         cfg = f"{self.precision.value},fmad={self.fmad_prob}"
         if level is OptLevel.O0_NOFMA:
             return f"O0_nofma[{cfg}]"

@@ -60,3 +60,33 @@ def flags_for(compiler_family: str, level: OptLevel) -> str:
     if compiler_family == "nvcc":
         return _NVCC_FLAGS[level]
     raise KeyError(f"unknown compiler family {compiler_family!r}")
+
+
+# -- the vectorization tier ----------------------------------------------------
+#
+# Modeled auto-vectorization widths (lanes) per family and level.  Host
+# compilers engage the loop vectorizer from -O2 (128-bit vectors, 4 lanes)
+# and widen to 8 lanes at -O3 and under fast math (256-bit vectors plus
+# vectorizer-driven unrolling); nvcc models the CUDA translation's
+# warp-level reduction — 32 lanes at every level except the explicit
+# most-IEEE baseline O0_nofma, mirroring how only ``--fmad=false`` turns
+# off its other aggressive default.  A width of 0 means "no vector tier
+# at this level".
+
+_HOST_VECTOR_WIDTHS = {
+    OptLevel.O2: 4,
+    OptLevel.O3: 8,
+    OptLevel.O3_FASTMATH: 8,
+}
+
+#: nvcc's modeled warp width.
+WARP_WIDTH = 32
+
+
+def vector_width_for(compiler_family: str, level: OptLevel) -> int:
+    """Lanes the family's vectorizer uses at ``level`` (0 = scalar only)."""
+    if compiler_family in ("gcc", "clang"):
+        return _HOST_VECTOR_WIDTHS.get(level, 0)
+    if compiler_family == "nvcc":
+        return 0 if level is OptLevel.O0_NOFMA else WARP_WIDTH
+    raise KeyError(f"unknown compiler family {compiler_family!r}")

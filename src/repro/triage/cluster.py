@@ -231,7 +231,17 @@ def cluster_entries(entries: list[TriageEntry]) -> list[TriageCluster]:
 
 @dataclass
 class TriageReport:
-    """The ranked, deduplicated output of a triage run."""
+    """The ranked, deduplicated output of a triage run.
+
+    One :class:`TriageCluster` per distinct root cause — triggers that
+    share (inconsistency kinds, responsible passes, divergent-cell
+    pattern) — ranked by cluster size, each represented by its smallest
+    reduced member.  :meth:`render` is deterministic: no timestamps,
+    timings or machine paths, so two runs over the same campaign emit
+    byte-identical reports (the property CI diffs rely on).  Produced by
+    :func:`triage_results` / :func:`triage_campaign` / :func:`triage_single`
+    or the ``llm4fp triage`` CLI.
+    """
 
     clusters: list[TriageCluster]
     campaigns: tuple[str, ...]  # labels of the triaged campaigns

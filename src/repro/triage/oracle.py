@@ -14,11 +14,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.difftest.classify import inconsistency_kind, kind_label
+from repro.difftest.classify import (
+    devectorized_fingerprint,
+    inconsistency_kind,
+    kind_label,
+    vector_reduction_tag,
+    vector_shape,
+)
 from repro.difftest.engine import _differing_values, _BinaryRun, frontend_kernels
 from repro.errors import CompileError
 from repro.execution.limits import DEFAULT_MAX_STEPS
 from repro.toolchains.base import Compiler
+from repro.toolchains.cache import env_fingerprint
 from repro.toolchains.optlevels import OptLevel
 from repro.triage.signature import PRINT_COUNT_KIND, InconsistencySignature
 
@@ -68,6 +75,7 @@ class PairOracle:
         self.evaluations += 1
         frontend = frontend_kernels(source)
         runs = []
+        binaries = []
         for compiler in (self.compiler_a, self.compiler_b):
             kernel = frontend.kernels.get(compiler.kind)
             if kernel is None:
@@ -80,6 +88,7 @@ class PairOracle:
             if not result.ok:
                 return PairObservation(ok=False)
             runs.append(result)
+            binaries.append(binary)
         ra, rb = runs
         steps = max(ra.steps, rb.steps)
         sig_a, sig_b = ra.signature(), rb.signature()
@@ -92,11 +101,24 @@ class PairOracle:
             _BinaryRun(sig_a, ra.value, ra.printed),
             _BinaryRun(sig_b, rb.value, rb.printed),
         )
-        kind = (
-            kind_label(inconsistency_kind(va, vb))
-            if va is not None and vb is not None
-            else PRINT_COUNT_KIND
+        # Same precedence as the engine's compare stage: the structural
+        # vector-reduction kind over the value-class pair, so a reduction
+        # verdict agrees with what the campaign recorded.
+        ba, bb = binaries
+        tag = vector_reduction_tag(
+            vector_shape(ba.kernel),
+            vector_shape(bb.kernel),
+            env_fingerprint(ba.env) == env_fingerprint(bb.env),
+            devectorized_fingerprint(ba.kernel) == devectorized_fingerprint(bb.kernel),
         )
+        if tag is not None:
+            kind = tag
+        else:
+            kind = (
+                kind_label(inconsistency_kind(va, vb))
+                if va is not None and vb is not None
+                else PRINT_COUNT_KIND
+            )
         return PairObservation(
             ok=True, consistent=False, kind=kind, signature_a=sig_a,
             signature_b=sig_b, steps=steps,

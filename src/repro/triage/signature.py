@@ -66,15 +66,25 @@ class InconsistencySignature:
 
 
 def signature_of(record: ComparisonRecord) -> InconsistencySignature:
-    """The signature of one inconsistent :class:`ComparisonRecord`."""
+    """The signature of one inconsistent :class:`ComparisonRecord`.
+
+    A structural kind (``vector-reduction``) takes precedence over the
+    value-class pair: it carries strictly more information about the root
+    cause, so triage clusters vector divergences separately from
+    same-class environmental ones.
+    """
     if record.consistent:
         raise ValueError("comparison is consistent; it has no signature")
-    kind = record.kind
+    if record.tag is not None:
+        kind = record.tag
+    else:
+        cls = record.kind
+        kind = kind_label(cls) if cls is not None else PRINT_COUNT_KIND
     return InconsistencySignature(
         compiler_a=record.compiler_a,
         compiler_b=record.compiler_b,
         level=record.level,
-        kind=kind_label(kind) if kind is not None else PRINT_COUNT_KIND,
+        kind=kind,
     )
 
 

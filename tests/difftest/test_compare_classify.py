@@ -101,3 +101,152 @@ class TestKinds:
         kc.record(1.0, 2.0)
         labels = kc.as_labels()
         assert labels == {"{Real, Real}": 1}
+
+
+class TestVectorReductionKind:
+    def _kernels(self):
+        from repro.frontend.parser import parse_program
+        from repro.frontend.sema import check_program
+        from repro.ir.lower import lower_compute
+        from repro.ir.passes import Vectorize
+
+        src = (
+            "#include <stdio.h>\n"
+            "void compute(double *a, int n) {\n"
+            "  double comp = 0.0;\n"
+            "  for (int i = 0; i < n; ++i) { comp += a[i]; }\n"
+            '  printf("%.17g\\n", comp);\n'
+            "}\n"
+            "int main(int argc, char **argv) {\n"
+            "  double in_a[4] = {atof(argv[1]), atof(argv[2]), atof(argv[3]),"
+            " atof(argv[4])};\n"
+            "  compute(in_a, atoi(argv[5]));\n"
+            "  return 0;\n"
+            "}\n"
+        )
+        scalar = lower_compute(check_program(parse_program(src)))
+        return scalar, Vectorize(4, "adjacent").run(scalar)
+
+    def test_vector_shape_lists_reduce_sites(self):
+        from repro.difftest.classify import vector_shape
+
+        scalar, vec = self._kernels()
+        assert vector_shape(scalar) == ()
+        assert vector_shape(vec) == (("+", 4, "adjacent"),)
+
+    def test_tag_requires_equal_environments(self):
+        from repro.difftest.classify import VECTOR_REDUCTION, vector_reduction_tag
+
+        shape_a, shape_b = (), (("+", 4, "adjacent"),)
+        assert vector_reduction_tag(shape_a, shape_b, True, True) == VECTOR_REDUCTION
+        # differing environments: libm could be the cause — no tag
+        assert vector_reduction_tag(shape_a, shape_b, False, True) is None
+        # differing scalar parts: another pass could be the cause — no tag
+        assert vector_reduction_tag(shape_a, shape_b, True, False) is None
+        # identical shapes: nothing vector-related to blame
+        assert vector_reduction_tag(shape_b, shape_b, True, True) is None
+
+    def test_style_difference_alone_tags(self):
+        from repro.difftest.classify import VECTOR_REDUCTION, vector_reduction_tag
+
+        adjacent = (("+", 4, "adjacent"),)
+        ladder = (("+", 4, "ladder"),)
+        assert vector_reduction_tag(adjacent, ladder, True, True) == VECTOR_REDUCTION
+
+    def test_devectorized_bodies_are_width_independent(self):
+        from repro.difftest.classify import devectorized_body
+        from repro.ir.passes import Vectorize
+
+        scalar, _ = self._kernels()
+        wide4 = Vectorize(4, "adjacent").run(scalar)
+        wide8 = Vectorize(8, "ladder").run(scalar)
+        assert devectorized_body(wide4) == devectorized_body(wide8)
+        # ... but the stripped body is not the never-vectorized kernel's
+        # (the induction init is hoisted out of the rewritten loop)
+        assert devectorized_body(wide4) != scalar.body
+
+    def test_scalar_divergence_near_vector_loop_is_not_tagged(self):
+        """Regression: a program *containing* a vectorizable loop must not
+        be tagged when the divergence comes from an unrelated scalar
+        transform.  gcc and clang reassociate this 5-term sum differently
+        at O3_fastmath while the 2-trip loop's vector body never runs —
+        the record carries no vector-reduction tag, matching the
+        bisector's non-vectorize attribution."""
+        from repro.difftest.config import CampaignConfig
+        from repro.difftest.engine import CampaignEngine
+        from repro.generation.program import GeneratedProgram
+        from repro.toolchains import ClangCompiler, GccCompiler, OptLevel
+
+        src = (
+            "#include <stdio.h>\n"
+            "void compute(double *a, double b, double c, double d, double e,"
+            " int n) {\n"
+            "  double comp = 0.0;\n"
+            "  for (int i = 0; i < n; ++i) { comp += a[i]; }\n"
+            "  comp += b + c + d + e + 0.1;\n"
+            '  printf("%.17g\\n", comp);\n'
+            "}\n"
+            "int main(int argc, char **argv) {\n"
+            "  double in_a[2] = {atof(argv[1]), atof(argv[2])};\n"
+            "  compute(in_a, atof(argv[3]), atof(argv[4]), atof(argv[5]),"
+            " atof(argv[6]), atoi(argv[7]));\n"
+            "  return 0;\n"
+            "}\n"
+        )
+        inputs = ((0.5, 0.25), 1e16, 1.0, -1e16, 1.0, 2)
+        engine = CampaignEngine(
+            [GccCompiler(), ClangCompiler()], CampaignConfig(budget=1)
+        )
+        outcome = engine.test_program(
+            0, GeneratedProgram(source=src, inputs=inputs)
+        )
+        fastmath = [
+            c
+            for c in outcome.inconsistent_comparisons
+            if c.level is OptLevel.O3_FASTMATH
+        ]
+        assert fastmath, "reassociation styles must split the hosts here"
+        assert all(c.tag is None for c in fastmath)
+
+    def test_nested_vector_loop_strips_without_hiding_scalar_code(self):
+        """Regression: a vectorizable loop nested inside outer control
+        flow must not drag its surrounding scalar statements out of the
+        devectorized body — otherwise scalar divergence sources hide and
+        the tag misfires."""
+        from repro.difftest.config import CampaignConfig
+        from repro.difftest.engine import CampaignEngine
+        from repro.generation.program import GeneratedProgram
+        from repro.toolchains import ClangCompiler, GccCompiler, OptLevel
+
+        src = (
+            "#include <stdio.h>\n"
+            "void compute(double *a, double b, double c, double d, double e,"
+            " int n) {\n"
+            "  double comp = 0.0;\n"
+            "  for (int j = 0; j < 1; ++j) {\n"
+            "    for (int i = 0; i < n; ++i) { comp += a[i]; }\n"
+            "    comp += b + c + d + e + 0.1;\n"
+            "  }\n"
+            '  printf("%.17g\\n", comp);\n'
+            "}\n"
+            "int main(int argc, char **argv) {\n"
+            "  double in_a[2] = {atof(argv[1]), atof(argv[2])};\n"
+            "  compute(in_a, atof(argv[3]), atof(argv[4]), atof(argv[5]),"
+            " atof(argv[6]), atoi(argv[7]));\n"
+            "  return 0;\n"
+            "}\n"
+        )
+        inputs = ((0.5, 0.25), 1e16, 1.0, -1e16, 1.0, 2)
+        engine = CampaignEngine(
+            [GccCompiler(), ClangCompiler()], CampaignConfig(budget=1)
+        )
+        outcome = engine.test_program(
+            0, GeneratedProgram(source=src, inputs=inputs)
+        )
+        fastmath = [
+            c
+            for c in outcome.inconsistent_comparisons
+            if c.level is OptLevel.O3_FASTMATH
+        ]
+        assert fastmath, "reassociation styles must split the hosts here"
+        assert all(c.tag is None for c in fastmath)

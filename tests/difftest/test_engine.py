@@ -73,6 +73,7 @@ def result_key(result):
                     _hex(c.value_a),
                     _hex(c.value_b),
                     c.digit_diff,
+                    c.tag,
                 )
                 for c in o.comparisons
             ],
@@ -138,6 +139,29 @@ class TestBackendEquivalence:
         process = run_with(EngineConfig(backend="process", jobs=2), budget=6)
         assert result_key(serial) == result_key(thread)
         assert result_key(serial) == result_key(process)
+
+    def test_vector_lanes_identical_across_backends(self):
+        """Vector execution is deterministic lane math: a loops campaign
+        (reduction kernels exercising the vectorization tier, including
+        the vector-reduction tags) is byte-identical on every backend."""
+        serial = run_with(
+            EngineConfig(backend="serial", jobs=1), approach="loops", budget=8
+        )
+        thread = run_with(
+            EngineConfig(backend="thread", jobs=4), approach="loops", budget=8
+        )
+        process = run_with(
+            EngineConfig(backend="process", jobs=2), approach="loops", budget=8
+        )
+        assert result_key(serial) == result_key(thread)
+        assert result_key(serial) == result_key(process)
+        tags = [
+            c.tag
+            for o in serial.outcomes
+            for c in o.comparisons
+            if not c.consistent and c.tag
+        ]
+        assert "vector-reduction" in tags  # the tier actually fired
 
     def test_process_with_llm_approach_identical(self):
         serial = run_with(
@@ -255,10 +279,11 @@ class TestCompileCache:
             compilers, CampaignConfig(budget=4), EngineConfig(jobs=1)
         )
         result = engine.run(_Repeat(program))
-        # 8 distinct (compiler, level-class) units per program; programs
-        # 2..4 are pure cache hits.
-        assert result.cache_misses == 8
-        assert result.cache_hits == 24
+        # 12 distinct (compiler, level-class) units per program (gcc and
+        # clang each split O0/O1/O2+vec4/O3+vec8/fastmath, nvcc keeps two
+        # classes); programs 2..4 are pure cache hits.
+        assert result.cache_misses == 12
+        assert result.cache_hits == 36
         assert result.cache_hit_rate == pytest.approx(0.75)
 
     def test_cache_disabled_records_no_lookups(self):
@@ -277,8 +302,8 @@ class TestCompileCache:
         second = engine.run(_Repeat(program))
         assert first.total_runs == second.total_runs == 2 * 18
         assert second.cache_misses == 0  # fully warm
-        assert second.cache_hits == 16  # 8 units x 2 programs
-        assert first.cache_misses == 8 and first.cache_hits == 8
+        assert second.cache_hits == 24  # 12 units x 2 programs
+        assert first.cache_misses == 12 and first.cache_hits == 12
 
     def test_lru_eviction_bounds_size(self):
         cache = CompileCache(capacity=2)
@@ -331,9 +356,10 @@ class TestRunSharing:
         )
         result = engine.run(_Repeat(program))
         assert result.total_runs == 18
-        # at minimum the within-compiler level classes collapse 18 -> <= 8
-        assert result.shared_runs >= 10
-        assert result.run_share_rate >= 10 / 18
+        # at minimum the within-compiler level classes collapse 18 -> <= 12
+        # (the vector tier splits O2/O3 into their own classes)
+        assert result.shared_runs >= 9
+        assert result.run_share_rate >= 9 / 18
 
     def test_sharing_disabled_runs_everything(self):
         program = GeneratedProgram(source=TRANSCENDENTAL, inputs=(0.37, 1.91, 5))

@@ -46,7 +46,8 @@ def _outcome_bits(o):
         {k: _bits(v) for k, v in o.values.items()},
         [
             (c.program_index, c.compiler_a, c.compiler_b, c.level,
-             c.consistent, _bits(c.value_a), _bits(c.value_b), c.digit_diff)
+             c.consistent, _bits(c.value_a), _bits(c.value_b), c.digit_diff,
+             c.tag)
             for c in o.comparisons
         ],
         o.triggered,
@@ -74,6 +75,7 @@ def make_outcome(index=3):
             ComparisonRecord(
                 index, "gcc", "nvcc", OptLevel.O3_FASTMATH, False,
                 value_a=float("-inf"), value_b=float("nan"), digit_diff=13,
+                tag="vector-reduction",
             ),
             ComparisonRecord(
                 index, "clang", "nvcc", OptLevel.O0, False,

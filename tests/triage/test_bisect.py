@@ -120,3 +120,104 @@ def test_frontend_failure_is_rejected():
         bisect_cell(
             "not a program", (1.0,), GccCompiler(), NvccCompiler(), OptLevel.O0
         )
+
+
+# -- the vectorization tier ---------------------------------------------------
+
+#: A dot-product reduction over cancellation-heavy values: gcc's adjacent
+#: and clang's ladder lane reductions round differently at O2/O3, so the
+#: host pair diverges with equal environments — a vector-reduction kind.
+VECTOR_TRIGGER = """
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+void compute(double *a, double s, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    comp += a[i] * s + sin(s + i);
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) {
+  double in_a[16] = {atof(argv[1]), atof(argv[2]), atof(argv[3]), atof(argv[4]),
+                     atof(argv[5]), atof(argv[6]), atof(argv[7]), atof(argv[8]),
+                     atof(argv[9]), atof(argv[10]), atof(argv[11]), atof(argv[12]),
+                     atof(argv[13]), atof(argv[14]), atof(argv[15]), atof(argv[16])};
+  compute(in_a, atof(argv[17]), atoi(argv[18]));
+  return 0;
+}
+"""
+
+VECTOR_INPUTS = (
+    (
+        -2.161244991344777, 16.744850325199423, -2140.123310536274,
+        -667.4296376438043, 33.12432414736006, 8604.15565518937,
+        4.366101377828139, -373427.6696042438, -13.557686496180793,
+        -856.9062739358501, 2.8392700153319588, 46.56981918402771,
+        6.836221364114393, 21.37550366737585, -134.8944261290064,
+        294524.6182501556,
+    ),
+    4.192660422628809,
+    16,
+)
+
+
+def _vector_outcome(compilers):
+    from repro.generation.program import GeneratedProgram
+
+    engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+    return engine.test_program(
+        0, GeneratedProgram(source=VECTOR_TRIGGER, inputs=VECTOR_INPUTS)
+    )
+
+
+def test_vector_reduction_kind_reaches_signatures(compilers):
+    outcome = _vector_outcome(compilers)
+    assert outcome.triggered
+    vec_sigs = [s for s in signatures_of(outcome) if s.kind == "vector-reduction"]
+    assert vec_sigs, "host pair at O2/O3 should tag as vector-reduction"
+    # the tag applies only where environments coincide (host-host cells)
+    assert all(s.pair == ("gcc", "clang") for s in vec_sigs)
+
+
+def test_bisection_attributes_vector_flip_to_vectorize(compilers):
+    """The acceptance scenario: a vector-reduction flip is pinned on the
+    vectorize pass with no change to the prefix-replay logic — and never
+    on loop-unroll, whose prefix replays bit-identically."""
+    outcome = _vector_outcome(compilers)
+    sig = next(
+        s for s in signatures_of(outcome) if s.kind == "vector-reduction"
+    )
+    result = bisect_signature(
+        VECTOR_TRIGGER, VECTOR_INPUTS, sig, compilers
+    )
+    assert result.responsible_pass is not None
+    assert result.responsible_pass.name == "vectorize"
+    assert result.env_deltas == ()  # host pair: same environment
+    trace = "\n".join(result.trace)
+    assert "loop-unroll" in trace  # the unroll prefix was replayed...
+    assert "+ gcc:loop-unroll            agree" in trace  # ...and is innocent
+
+
+def test_reducer_preserves_vector_reduction_kind(compilers):
+    """Delta debugging keeps the structural kind: every candidate the
+    reducer accepts still diverges as vector-reduction in the same cell."""
+    from repro.triage import reduce_program
+
+    outcome = _vector_outcome(compilers)
+    sig = next(
+        s for s in signatures_of(outcome) if s.kind == "vector-reduction"
+    )
+    reduction = reduce_program(
+        VECTOR_TRIGGER, VECTOR_INPUTS, sig, compilers, max_tests=200
+    )
+    assert reduction.reduced_nodes <= reduction.original_nodes
+    # the reduced program still exhibits the same vector-reduction cell
+    from repro.triage.oracle import PairOracle
+    from repro.triage.oracle import compilers_by_name
+
+    by_name = compilers_by_name(compilers)
+    oracle = PairOracle(
+        by_name[sig.compiler_a], by_name[sig.compiler_b], sig.level
+    )
+    assert oracle.matches(reduction.reduced_source, VECTOR_INPUTS, sig)
