@@ -55,6 +55,11 @@ from repro.utils.rng import SplittableRng
 _BUDGET = 40
 _SEED = 20250916
 
+#: loops-workload budget: the vector/masking tier's cost tracker (the
+#: loops generator produces reduction and guarded kernels, so compile
+#: cost includes if-convert + unroll + widening at every masking level)
+_LOOPS_BUDGET = 24
+
 CONFIGS = {
     "serial": EngineConfig(
         backend="serial", jobs=1, compile_cache=False, share_runs=False
@@ -92,6 +97,12 @@ def _workload(budget: int = _BUDGET):
     return [generator.generate() for _ in range(budget)]
 
 
+def _loops_workload(budget: int = _LOOPS_BUDGET):
+    rng = SplittableRng(_SEED, "bench-engine-loops")
+    generator = make_generator("loops", rng)
+    return [generator.generate() for _ in range(budget)]
+
+
 def _run(programs, engine_config):
     engine = CampaignEngine(
         default_compilers(),
@@ -126,7 +137,7 @@ def _result_key(result):
     ]
 
 
-def measure(budget: int = _BUDGET) -> dict:
+def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
     programs = _workload(budget)
     keys = {}
     configs = {}
@@ -141,8 +152,21 @@ def measure(budget: int = _BUDGET) -> dict:
         }
         shared[name] = result
     serial_s = configs["serial"]["seconds"]
+    # Loops workload (ROADMAP: bench coverage for the vector tier): the
+    # same thread/dedup engine over reduction + guarded kernels, whose
+    # compile stage runs if-convert/unroll/widening and whose execute
+    # stage interprets lane math — a budget-normalized cost tracker that
+    # moves when the tier's passes or the interpreter's lane path do.
+    loops_programs = _loops_workload(loops_budget)
+    loops_result, loops_seconds = _run(loops_programs, CONFIGS["thread"])
+    loops_tags = sum(
+        1
+        for o in loops_result.outcomes
+        for c in o.comparisons
+        if not c.consistent and c.tag
+    )
     return {
-        "schema": 2,
+        "schema": 3,
         "budget": budget,
         "cpu_count": os.cpu_count() or 1,
         "configs": configs,
@@ -152,6 +176,9 @@ def measure(budget: int = _BUDGET) -> dict:
         "run_share_rate": shared["thread"].run_share_rate,
         "cache_hit_rate": shared["thread"].cache_hit_rate,
         "stage_seconds": shared["thread"].stage_seconds,
+        "loops_budget": loops_budget,
+        "loops_throughput": loops_budget / loops_seconds,
+        "loops_structural_tags": loops_tags,
     }
 
 
@@ -173,6 +200,9 @@ def render(m: dict) -> str:
         f"   cache hit rate: {m['cache_hit_rate'] * 100:.1f}%",
         "  thread stage seconds:   "
         + "  ".join(f"{k}={v:.2f}" for k, v in m["stage_seconds"].items()),
+        f"  loops workload ({m['loops_budget']} programs, vector+mask tier): "
+        f"{m['loops_throughput']:7.1f} programs/s, "
+        f"{m['loops_structural_tags']} structural tags",
     ]
     return "\n".join(lines)
 
@@ -194,6 +224,11 @@ def check(m: dict) -> list[str]:
         failures.append(
             f"process speedup {m['process_speedup']:.2f}x < 1.6x over serial "
             f"on a {m['cpu_count']}-CPU machine"
+        )
+    if m["loops_structural_tags"] < 1:
+        failures.append(
+            "loops workload produced no structural (vector/masked) tags — "
+            "the tier the benchmark exists to cover did not engage"
         )
     return failures
 

@@ -18,6 +18,10 @@ Gated metrics (all higher-is-better):
   drop below the floor only *warns*; pass ``--strict`` to make it fail
   (sensible when comparing runs from the same machine, e.g. against the
   previous run's artifact).
+* ``loops_throughput`` — absolute programs/sec of the loops workload
+  (the vector + masking tier: if-convert/unroll/widening in the compile
+  stage, lane math in the execute stage).  Warn-only for the same
+  absolute-wall-clock reason; it tracks the tier's cost as it grows.
 
 Usage::
 
@@ -40,7 +44,7 @@ DEFAULT_BASELINE = Path(__file__).parent.parent / "benchmarks" / "BENCH_engine_b
 #: machine-transferable ratios: always enforced
 HARD_METRICS = ("thread_speedup",)
 #: absolute wall-clock numbers: warn-only unless --strict
-SOFT_METRICS = ("configs.thread.throughput",)
+SOFT_METRICS = ("configs.thread.throughput", "loops_throughput")
 GATED_METRICS = HARD_METRICS + SOFT_METRICS
 
 

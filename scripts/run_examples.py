@@ -27,6 +27,8 @@ ARGS: dict[str, list[str]] = {
     "triage_inconsistency.py": [],
     # defaults (24 trips, seed 3) are pinned to a diverging configuration
     "vectorization_divergence.py": [],
+    # defaults (24 trips, seed 1) are pinned to a diverging configuration
+    "masked_vectorization.py": [],
 }
 
 

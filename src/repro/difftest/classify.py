@@ -23,6 +23,18 @@ be mislabeled whenever an unrelated scalar transform (e.g. fast-math
 reassociation of a straight-line sum) flips the comparison.  The tag is
 precise by construction; triage bisection remains the ground truth for
 *which* pass flipped a comparison.
+
+The if-conversion tier adds a second structural kind,
+:data:`MASKED_LANE`: the same environment/scalar-part preconditions,
+but the sides differ in their *masked* shapes — mask sites
+(``VecSelect``/``VecCmp``/masked load/store) or the reductions those
+masked regions feed (:func:`masked_shape`).  Masked lanes execute both
+arms of a converted conditional and blend by mask, so the divergent
+association includes work the scalar branchy loop never did; the kind
+takes precedence over plain ``vector-reduction`` because it names the
+narrower mechanism, while sides that masked *identically* and diverge
+only through an unmasked reduction's shape still tag
+``vector-reduction``.
 """
 
 from __future__ import annotations
@@ -41,15 +53,23 @@ __all__ = [
     "kind_label",
     "KindCount",
     "VECTOR_REDUCTION",
+    "MASKED_LANE",
     "vector_shape",
+    "masked_shape",
     "devectorized_body",
     "devectorized_fingerprint",
     "vector_reduction_tag",
+    "structural_tag",
 ]
 
 #: Structural inconsistency kind: the two sides disagree on how loop
 #: reductions were vectorized (shape below), under equal environments.
 VECTOR_REDUCTION = "vector-reduction"
+
+#: Structural inconsistency kind: like ``vector-reduction``, but at least
+#: one side widened *if-converted* (masked) code — speculated lanes
+#: executed both arms of a conditional and blended by mask.
+MASKED_LANE = "masked-lane"
 
 
 def vector_shape(kernel: ir.Kernel) -> tuple[tuple[str, int, str], ...]:
@@ -68,14 +88,91 @@ def vector_shape(kernel: ir.Kernel) -> tuple[tuple[str, int, str], ...]:
     return tuple(shape)
 
 
+def masked_shape(kernel: ir.Kernel) -> tuple[tuple, ...]:
+    """The kernel's if-conversion sites, in deterministic pre-order.
+
+    Site descriptors: ``("cmp", op, lanes)`` for lane compares,
+    ``("select", lanes)`` for blends, ``("mload", lanes)`` for masked
+    loads, ``("mstore", lanes)`` for masked vector stores — and, inside
+    a *masked region* (a guarded vector block whose subtree contains
+    mask nodes), ``("reduce", op, lanes, style)`` for its horizontal
+    reductions: a reduction fed by blended lanes belongs to the masking
+    mechanism, while a reduction in an unmasked loop elsewhere in the
+    same kernel stays out of this shape (so a pure reduction-style
+    divergence next to an identically-masked loop tags
+    ``vector-reduction``, not ``masked-lane``).
+
+    Non-empty exactly when the kernel contains *widened* if-converted
+    code (scalar select form, including the scalar epilogue the
+    vectorizer emits, does not count: it executes one arm, not both).
+    """
+    shape: list[tuple] = []
+
+    def leaf_sites(s: ir.Stmt, include_reduce: bool) -> None:
+        if isinstance(s, ir.SMaskedStore) and s.lanes > 1:
+            shape.append(("mstore", s.lanes))
+        for top in ir.stmt_exprs(s):
+            for e in ir.walk(top):
+                if isinstance(e, ir.VecCmp):
+                    shape.append(("cmp", e.op, e.lanes))
+                elif isinstance(e, ir.VecSelect):
+                    shape.append(("select", e.lanes))
+                elif isinstance(e, ir.VecMaskedLoad):
+                    shape.append(("mload", e.lanes))
+                elif include_reduce and isinstance(e, ir.VecReduce):
+                    shape.append(("reduce", e.op, e.lanes, e.style))
+
+    def has_mask(s: ir.Stmt) -> bool:
+        for sub in ir.walk_stmts((s,)):
+            if isinstance(sub, ir.SMaskedStore) and sub.lanes > 1:
+                return True
+            for top in ir.stmt_exprs(sub):
+                if any(
+                    isinstance(e, (ir.VecCmp, ir.VecSelect, ir.VecMaskedLoad))
+                    for e in ir.walk(top)
+                ):
+                    return True
+        return False
+
+    def visit(stmts: tuple[ir.Stmt, ...]) -> None:
+        for s in stmts:
+            if isinstance(s, ir.SIf) and has_mask(s):
+                # A masked vector region (the vectorizer's guard block):
+                # consume it whole, reductions included.
+                for sub in ir.walk_stmts((s,)):
+                    leaf_sites(sub, include_reduce=True)
+            elif isinstance(s, ir.SIf):
+                leaf_sites(s, include_reduce=False)  # own condition only
+                visit(s.then)
+                visit(s.other)
+            elif isinstance(s, ir.SFor):
+                leaf_sites(s, include_reduce=False)
+                visit(s.init)
+                visit(s.body)
+                visit(s.step)
+            elif isinstance(s, ir.SWhile):
+                leaf_sites(s, include_reduce=False)
+                visit(s.body)
+            else:
+                leaf_sites(s, include_reduce=False)
+
+    visit(kernel.body)
+    return tuple(shape)
+
+
+def _expr_has_vector(e: ir.Expr) -> bool:
+    return any(isinstance(sub, ir.ANY_VECTOR_NODES) for sub in ir.walk(e))
+
+
 def _stmt_has_vector(s: ir.Stmt) -> bool:
     for sub in ir.walk_stmts((s,)):
         if isinstance(sub, ir.SVecStore):
             return True
+        if isinstance(sub, ir.SMaskedStore) and sub.lanes > 1:
+            return True
         for top in ir.stmt_exprs(sub):
-            for e in ir.walk(top):
-                if isinstance(e, ir.ANY_VECTOR_NODES):
-                    return True
+            if _expr_has_vector(top):
+                return True
     return False
 
 
@@ -91,7 +188,19 @@ def devectorized_body(kernel: ir.Kernel) -> tuple[ir.Stmt, ...]:
     inside source control flow.  The result is width- and
     style-independent, so two kernels that differ *only* in how the
     vector tier widened them strip to identical bodies.
+
+    A surviving compound statement whose own *condition* contains vector
+    nodes (a mask feeding control flow) has the condition scalarized to
+    a constant placeholder: conditions belong to the statement, not its
+    body, so leaving a width-carrying mask in place would make the
+    stripped bodies of two widths spuriously differ and silently
+    mis-tag.
     """
+
+    def scalarized(e: ir.Expr | None) -> ir.Expr | None:
+        if e is None or not _expr_has_vector(e):
+            return e
+        return ir.IConst(1)
 
     def strip(stmts: tuple[ir.Stmt, ...]) -> tuple[ir.Stmt, ...]:
         out: list[ir.Stmt] = []
@@ -99,15 +208,19 @@ def devectorized_body(kernel: ir.Kernel) -> tuple[ir.Stmt, ...]:
             if isinstance(s, ir.SIf):
                 then, other = strip(s.then), strip(s.other)
                 if then or other or not _stmt_has_vector(s):
-                    out.append(ir.SIf(s.cond, then, other))
+                    out.append(ir.SIf(scalarized(s.cond), then, other))
             elif isinstance(s, ir.SFor):
                 body = strip(s.body)
                 if body or not _stmt_has_vector(s):
-                    out.append(ir.SFor(strip(s.init), s.cond, strip(s.step), body))
+                    out.append(
+                        ir.SFor(
+                            strip(s.init), scalarized(s.cond), strip(s.step), body
+                        )
+                    )
             elif isinstance(s, ir.SWhile):
                 body = strip(s.body)
                 if body or not _stmt_has_vector(s):
-                    out.append(ir.SWhile(s.cond, body))
+                    out.append(ir.SWhile(scalarized(s.cond), body))
             elif not _stmt_has_vector(s):
                 out.append(s)
         return tuple(out)
@@ -129,6 +242,37 @@ def vector_reduction_tag(
     observationally equal, and the devectorized kernels coincide (see the
     module docstring's three conditions).  ``None`` otherwise."""
     if envs_equal and scalar_parts_equal and shape_a != shape_b:
+        return VECTOR_REDUCTION
+    return None
+
+
+def structural_tag(
+    shape_a: tuple,
+    shape_b: tuple,
+    masked_a: tuple,
+    masked_b: tuple,
+    envs_equal: bool,
+    scalar_parts_equal: bool,
+) -> str | None:
+    """The structural kind of one inconsistent comparison, or ``None``.
+
+    Precondition for any tag is the precision pair of the module
+    docstring: observationally equal environments and content-identical
+    select-stripped scalar parts, so nothing but the vector tier can be
+    the cause.  Then the sides' *masked* shapes are compared first:
+    a difference there (mask sites, or the style/width of a reduction
+    fed by blended lanes) is the narrower mechanism and tags
+    :data:`MASKED_LANE`.  With identical masked shapes — including the
+    both-empty case — a difference in the plain reduction shapes tags
+    :data:`VECTOR_REDUCTION`: two sides that masked identically but
+    reduce an *unmasked* loop differently diverged through the plain
+    vector tier, not the masking.
+    """
+    if not envs_equal or not scalar_parts_equal:
+        return None
+    if masked_a != masked_b:
+        return MASKED_LANE
+    if shape_a != shape_b:
         return VECTOR_REDUCTION
     return None
 

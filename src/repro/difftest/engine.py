@@ -72,7 +72,8 @@ from repro.difftest.backend import (
 )
 from repro.difftest.classify import (
     devectorized_fingerprint,
-    vector_reduction_tag,
+    masked_shape,
+    structural_tag,
     vector_shape,
 )
 from repro.difftest.compare import digit_difference
@@ -209,10 +210,12 @@ class _BinaryRun:
     signature: str | None
     value: float | None
     printed: tuple[float, ...] = ()
-    #: optimized kernel's (op, lanes, style) VecReduce sites, the content
-    #: hash of its vector-stripped body, and env identity — used to tag
-    #: vector-reduction inconsistencies in the compare stage
+    #: optimized kernel's (op, lanes, style) VecReduce sites, its
+    #: if-conversion (mask) sites, the content hash of its
+    #: vector-stripped body, and env identity — used to tag
+    #: vector-reduction / masked-lane inconsistencies in the compare stage
     vec_shape: tuple = ()
+    mask_shape: tuple = ()
     devec_fp: str = ""
     env_key: tuple = ()
 
@@ -641,14 +644,19 @@ class CampaignEngine:
                 kernel = record.binary.kernel
                 cached = shapes.get(id(kernel))
                 if cached is None:
-                    cached = (vector_shape(kernel), devectorized_fingerprint(kernel))
+                    cached = (
+                        vector_shape(kernel),
+                        masked_shape(kernel),
+                        devectorized_fingerprint(kernel),
+                    )
                     shapes[id(kernel)] = cached
                 runs[(record.compiler, record.level)] = _BinaryRun(
                     sig,
                     result.value,
                     result.printed,
                     vec_shape=cached[0],
-                    devec_fp=cached[1],
+                    mask_shape=cached[1],
+                    devec_fp=cached[2],
                     env_key=env_fingerprint(record.binary.env),
                 )
                 if sig is not None:
@@ -685,9 +693,11 @@ class CampaignEngine:
                         value_a=va,
                         value_b=vb,
                         digit_diff=_diffing_digits(va, vb),
-                        tag=vector_reduction_tag(
+                        tag=structural_tag(
                             ra.vec_shape,
                             rb.vec_shape,
+                            ra.mask_shape,
+                            rb.mask_shape,
                             ra.env_key == rb.env_key,
                             ra.devec_fp == rb.devec_fp,
                         ),

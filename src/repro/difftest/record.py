@@ -17,12 +17,13 @@ class ComparisonRecord:
     """One pairwise output comparison at one optimization level.
 
     ``tag`` carries a structural inconsistency kind when one applies —
-    currently only :data:`~repro.difftest.classify.VECTOR_REDUCTION`,
-    set by the engine when the two sides' optimized kernels reduce loops
-    with different vector shapes under observationally equal FP
-    environments.  It complements (never replaces) the value-class
-    ``kind``: Figure 3 taxonomies stay value-based, while triage keys on
-    the structural kind when present.
+    :data:`~repro.difftest.classify.VECTOR_REDUCTION` or
+    :data:`~repro.difftest.classify.MASKED_LANE` — set by the engine
+    when the two sides' optimized kernels widen loops with different
+    vector/mask shapes under observationally equal FP environments.  It
+    complements (never replaces) the value-class ``kind``: Figure 3
+    taxonomies stay value-based, while triage keys on the structural
+    kind when present.
     """
 
     program_index: int

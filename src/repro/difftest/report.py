@@ -132,11 +132,12 @@ class CampaignReport:
         return kinds
 
     def tag_counts(self) -> dict[str, int]:
-        """Structural inconsistency kinds (``vector-reduction``) by count.
+        """Structural inconsistency kinds (``vector-reduction``,
+        ``masked-lane``) by count.
 
         Orthogonal to :meth:`kind_counts`: a tagged comparison still
         appears in its value-class bucket, so Figure 3 totals are
-        unchanged by the vector tier.
+        unchanged by the vector and masking tiers.
         """
         counts = Counter(
             c.tag for c in self.result.comparisons if not c.consistent and c.tag

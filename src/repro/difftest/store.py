@@ -46,11 +46,28 @@ __all__ = [
     "decode_outcome",
 ]
 
-# Version 2 added the per-comparison structural ``tag`` (vector-reduction)
-# alongside the vectorizing toolchain pipelines; version-1 checkpoints were
-# produced by pre-vectorization compiler models and must not be replayed
-# into a campaign whose matrix would compute different results.
-_FORMAT_VERSION = 2
+# Version history:
+#
+# * v1 — pre-vectorization compiler models; comparison rows carry no
+#   structural ``tag`` field.
+# * v2 — added the per-comparison structural ``tag`` (vector-reduction)
+#   alongside the vectorizing toolchain pipelines.
+# * v3 — the if-conversion (masked vectorization) tier: ``tag`` may now
+#   also be ``masked-lane``, and the host/device pipelines if-convert, so
+#   v3 campaigns compute different matrices than v2 ones.
+#
+# New checkpoints are written at the current version.  Older versions
+# remain *readable* (``load_result`` / ``merge`` / ``triage`` — missing
+# ``tag`` fields decode as None) and *resumable*: the stored outcomes are
+# trusted as recorded, which is what an operator pointing ``--resume`` at
+# a pre-existing nightly checkpoint asks for.  Opening a legacy file for
+# resume upgrades its header to the current version (rows appended from
+# that point on are computed by the current models, and the header names
+# the newest writer); the retained legacy rows still describe the models
+# of the version that wrote them — analyses mixing versions are comparing
+# those models, not a bug in the store.
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = frozenset({1, 2, _FORMAT_VERSION})
 
 
 class CampaignStoreError(ValueError):
@@ -193,7 +210,8 @@ class CampaignStore:
                 "delete it or pass a different path"
             )
         stored_header = lines[0]
-        if stored_header != expected:
+        legacy = stored_header != expected
+        if legacy and not self._legacy_match(stored_header, expected):
             raise CampaignStoreError(
                 f"checkpoint {self.path} belongs to a different campaign:\n"
                 f"  stored:   {stored_header}\n  expected: {expected}"
@@ -202,6 +220,13 @@ class CampaignStore:
             # crash tail: drop the partial record, keep the complete prefix
             with self.path.open("r+b") as f:
                 f.truncate(good_bytes)
+        if legacy:
+            # Upgrade the header before any append: rows this campaign
+            # adds are computed by the *current* models, and the header
+            # must describe the newest writer — the retained legacy rows
+            # stay trusted as recorded (that is what resuming an old
+            # nightly asks for), their bytes untouched.
+            self._rewrite_header(expected)
         done: dict[int, ProgramOutcome] = {}
         for record in lines[1:]:
             if record.get("kind") != "outcome":
@@ -217,6 +242,34 @@ class CampaignStore:
         self._write_line(encode_outcome(outcome), mode="a")
 
     # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _legacy_match(stored: dict, expected: dict) -> bool:
+        """Whether ``stored`` is the same campaign at an older, readable
+        format version — the ``--resume`` compat path for pre-masked-tier
+        nightly checkpoints (rows simply decode with ``tag=None``)."""
+        if stored.get("version") not in _READABLE_VERSIONS:
+            return False
+        return {k: v for k, v in stored.items() if k != "version"} == {
+            k: v for k, v in expected.items() if k != "version"
+        }
+
+    def _rewrite_header(self, header: dict) -> None:
+        """Replace the first line with ``header``, record bytes untouched
+        (atomic via temp-file rename, like the append path's fsync this
+        never leaves a torn file behind)."""
+        data = self.path.read_bytes()
+        _, _, records = data.partition(b"\n")
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("wb") as f:
+            f.write(
+                json.dumps(header, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+                + records
+            )
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.path)
 
     def _write_line(self, record: dict, mode: str) -> None:
         with self.path.open(mode, encoding="utf-8") as f:
@@ -259,7 +312,7 @@ def load_result(path: str | os.PathLike) -> CampaignResult:
     if not lines or lines[0].get("kind") != "campaign":
         raise CampaignStoreError(f"{path} is not a campaign checkpoint")
     header = lines[0]
-    if header.get("version") != _FORMAT_VERSION:
+    if header.get("version") not in _READABLE_VERSIONS:
         raise CampaignStoreError(
             f"{path}: unsupported checkpoint version {header.get('version')!r}"
         )

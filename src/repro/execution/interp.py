@@ -135,6 +135,8 @@ class Interpreter:
             lanes = self._eval(s.value)
             for j in range(s.lanes):
                 arr[idx + j] = self._as_float(lanes[j])
+        elif isinstance(s, ir.SMaskedStore):
+            self._masked_store(s)
         elif isinstance(s, ir.SIf):
             if self._truthy(self._eval(s.cond)):
                 self._exec_block(s.then)
@@ -156,6 +158,36 @@ class Interpreter:
             raise _Return()
         else:  # pragma: no cover - exhaustive
             raise TrapError(f"cannot execute {type(s).__name__}")
+
+    def _masked_store(self, s: ir.SMaskedStore) -> None:
+        """Predicated store, at scalar (lanes=1) or vector width.
+
+        The scalar form short-circuits exactly like the guarded store it
+        replaced: the mask evaluates first, and a false predicate skips
+        index, value *and* the write.  The vector form evaluates mask and
+        value vectors in full (speculated lanes execute), then writes —
+        and bounds-checks — only the active lanes.
+        """
+        if s.lanes == 1:
+            if not self._truthy(self._eval(s.mask)):
+                return
+            arr = self._array(s.name)
+            idx = self._index(arr, s.index, s.name)
+            arr[idx] = self._as_float(self._eval(s.value))
+            return
+        mask = self._eval(s.mask)
+        values = self._eval(s.value)
+        arr = self._array(s.name)
+        idx = self._eval(s.index)
+        for j in range(s.lanes):
+            if not mask[j]:
+                continue
+            pos = idx + j
+            if not 0 <= pos < len(arr):
+                raise TrapError(
+                    f"index {pos} out of bounds for {s.name}[{len(arr)}]"
+                )
+            arr[pos] = self._as_float(values[j])
 
     def _print(self, s: ir.SPrint) -> None:
         args = [self._eval(v) for v in s.values]
@@ -181,13 +213,7 @@ class Interpreter:
                 raise TrapError(f"read of unset variable {e.name!r}") from None
         if isinstance(e, ir.LoadElem):
             arr = self._array(e.name)
-            idx = self._index(arr, e.index, e.name)
-            v = arr[idx]
-            if v is None:
-                raise TrapError(
-                    f"read of uninitialized element {e.name}[{idx}]"
-                )
-            return v
+            return self._read_elem(arr, self._eval(e.index), e.name)
         if isinstance(e, ir.FBin):
             a = self._eval(e.left)
             b = self._eval(e.right)
@@ -255,13 +281,9 @@ class Interpreter:
         if isinstance(e, ir.VecLoad):
             arr = self._array(e.name)
             idx = self._vec_index(arr, e.index, e.lanes, e.name)
-            lanes = arr[idx : idx + e.lanes]
-            for j, v in enumerate(lanes):
-                if v is None:
-                    raise TrapError(
-                        f"read of uninitialized element {e.name}[{idx + j}]"
-                    )
-            return tuple(lanes)
+            return tuple(
+                self._read_elem(arr, idx + j, e.name) for j in range(e.lanes)
+            )
         if isinstance(e, ir.VecSiToFp):
             return tuple(env.canon(float(v), e.ty) for v in self._eval(e.operand))
         if isinstance(e, ir.VecBin):
@@ -282,6 +304,33 @@ class Interpreter:
                 env.call(e.name, tuple(arg[j] for arg in args), e.ty)
                 for j in range(e.lanes)
             )
+        if isinstance(e, ir.VecCmp):
+            left = self._eval(e.left)
+            right = self._eval(e.right)
+            return tuple(
+                self._cmp_values(e.op, a, b, fp=True) for a, b in zip(left, right)
+            )
+        if isinstance(e, ir.VecSelect):
+            # Both arms evaluate in full — the if-conversion observable:
+            # every lane executes both sides, the mask only blends.
+            mask = self._eval(e.mask)
+            then = self._eval(e.then)
+            other = self._eval(e.other)
+            return tuple(
+                t if m else o for m, t, o in zip(mask, then, other)
+            )
+        if isinstance(e, ir.VecMaskedLoad):
+            mask = self._eval(e.mask)
+            arr = self._array(e.name)
+            idx = self._eval(e.index)
+            lanes = []
+            for j in range(e.lanes):
+                active = not mask[j] if e.invert else bool(mask[j])
+                if active:
+                    lanes.append(self._read_elem(arr, idx + j, e.name))
+                else:
+                    lanes.append(0.0)  # zeroing masking: no memory touch
+            return tuple(lanes)
         assert isinstance(e, ir.VecReduce)
         lanes = list(self._eval(e.operand))
         combine = env.add if e.op == "+" else env.mul
@@ -328,10 +377,12 @@ class Interpreter:
         return self._check_int(a - q * b)  # C remainder: sign of dividend
 
     def _compare(self, e: ir.Compare) -> int:
-        a = self._eval(e.left)
-        b = self._eval(e.right)
-        if e.fp and (math.isnan(a) or math.isnan(b)):
-            return int(e.op == "!=")  # NaN: only != is true
+        return self._cmp_values(e.op, self._eval(e.left), self._eval(e.right), e.fp)
+
+    @staticmethod
+    def _cmp_values(op: str, a, b, fp: bool) -> int:
+        if fp and (math.isnan(a) or math.isnan(b)):
+            return int(op == "!=")  # NaN: only != is true
         table = {
             "==": a == b,
             "!=": a != b,
@@ -340,7 +391,7 @@ class Interpreter:
             ">": a > b,
             ">=": a >= b,
         }
-        return int(table[e.op])
+        return int(table[op])
 
     # -- helpers -------------------------------------------------------------------------
 
@@ -359,6 +410,15 @@ class Interpreter:
             return self._arrays[name]
         except KeyError:
             raise TrapError(f"no array named {name!r}") from None
+
+    def _read_elem(self, arr: list, pos: int, name: str):
+        """One bounds- and initialization-checked element read."""
+        if not 0 <= pos < len(arr):
+            raise TrapError(f"index {pos} out of bounds for {name}[{len(arr)}]")
+        v = arr[pos]
+        if v is None:
+            raise TrapError(f"read of uninitialized element {name}[{pos}]")
+        return v
 
     def _index(self, arr: list, index_expr: ir.Expr, name: str) -> int:
         idx = self._eval(index_expr)

@@ -125,7 +125,11 @@ class FPEnvironment:
         return r
 
     def neg(self, a: float, ty: str = "double") -> float:
-        return -self._flush(a, ty)
+        # Result flushed like _binary: negating a flushed input cannot
+        # itself produce a subnormal today, but the symmetry keeps future
+        # approx hooks (which may perturb before the final flush) from
+        # leaking subnormals through negation alone.
+        return self._flush(-self._flush(a, ty), ty)
 
     def fma(self, a: float, b: float, c: float, ty: str = "double") -> float:
         """Single-rounding fused multiply-add (used by contracted IR)."""

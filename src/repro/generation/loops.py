@@ -6,9 +6,12 @@ This generator is the tier's workload: every program is built around
 innermost counted reduction loops (dot products, running sums, products,
 lane-stepped transcendental sums) over array parameters — exactly the
 shapes :class:`~repro.ir.passes.vectorize.Vectorize` widens — plus the
-occasional map loop (vector stores) and a small dose of deliberately
-non-vectorizable loops (guarded updates) so campaigns also witness the
-vectorizer *declining*.
+occasional map loop (vector stores) and a ``guarded_share`` of
+conditional (guarded-update) loops: one- and two-armed accumulations and
+guarded map stores, the shapes
+:class:`~repro.ir.passes.if_convert.IfConvert` turns into masked select
+form at the levels that if-convert, and that stay scalar branches — the
+vectorizer witnessed *declining* — everywhere else.
 
 Inputs use the PLAUSIBLE profile: values a numerical kernel would see,
 keeping sums in the normal range so vector-tier divergences surface as
@@ -36,10 +39,18 @@ class LoopReductionGenerator:
     name = "loops"
     input_profile = InputProfile.PLAUSIBLE
 
-    def __init__(self, rng: SplittableRng, warp_share: float = 0.35) -> None:
+    def __init__(
+        self,
+        rng: SplittableRng,
+        warp_share: float = 0.35,
+        guarded_share: float = 0.30,
+    ) -> None:
         self._rng = rng.split("loops")
         #: fraction of programs sized to engage the 32-lane warp model
         self.warp_share = warp_share
+        #: per-loop probability of a guarded (conditional-body) shape —
+        #: the masked-vectorization tier's workload
+        self.guarded_share = guarded_share
         self._counter = 0
 
     # -- public API --------------------------------------------------------------
@@ -104,10 +115,11 @@ class LoopReductionGenerator:
         n_loops = rng.randint(1, 2)
         for k in range(n_loops):
             roll = rng.random()
-            if roll < 0.15:
-                lines.extend(self._guarded_loop(rng, arrays))
-                pattern_bits.append("guarded")
-            elif roll < 0.30 and k == 0:
+            if roll < self.guarded_share:
+                shape, loop = self._guarded_loop(rng, arrays)
+                lines.extend(loop)
+                pattern_bits.append(shape)
+            elif roll < self.guarded_share + 0.15 and k == 0:
                 lines.extend(self._dual_reduction_loop(rng, arrays))
                 pattern_bits.append("dual")
             else:
@@ -188,12 +200,58 @@ class LoopReductionGenerator:
         ]
         return lines
 
-    def _guarded_loop(self, rng: SplittableRng, arrays: list[str]) -> list[str]:
-        """A conditional update the vectorizer must refuse (no masking)."""
+    def _guarded_loop(
+        self, rng: SplittableRng, arrays: list[str]
+    ) -> tuple[str, list[str]]:
+        """A conditional-body loop: the if-conversion tier's workload.
+
+        At levels that if-convert (hosts at O3/fast-math, nvcc always)
+        these widen to masked lane math; everywhere else the vectorizer
+        refuses them and the branch stays scalar — so the same program
+        witnesses both behaviours across the matrix.
+        """
         arr = rng.choice(arrays)
-        return [
+        cmp_op = rng.choice([">", "<", ">=", "<="])
+        threshold = rng.choice(["0.0", "1.0", "-1.0", "s"])
+        guard = f"{arr}[i] {cmp_op} {threshold}"
+        roll = rng.random()
+        if roll < 0.45:
+            # One-armed guarded accumulation (select vs the + identity).
+            op = rng.choice(["+=", "+=", "-="])
+            return "guarded", [
+                "for (int i = 0; i < n; ++i) {",
+                f"  if ({guard}) {{",
+                f"    comp {op} {self._mul_term(rng, arrays)};",
+                "  }",
+                "}",
+            ]
+        if roll < 0.8:
+            # Two-armed accumulation: both arms execute in every
+            # if-converted lane, blended by mask.
+            return "guarded2", [
+                "for (int i = 0; i < n; ++i) {",
+                f"  if ({guard}) {{",
+                f"    comp += {self._mul_term(rng, arrays)};",
+                "  } else {",
+                f"    comp += {self._lane_term(rng, arrays)};",
+                "  }",
+                "}",
+            ]
+        if len(arrays) == 2:
+            # Guarded map store: widens to a masked vector store.
+            return "gmap", [
+                "for (int i = 0; i < n; ++i) {",
+                f"  if ({guard}) {{",
+                f"    b[i] = {self._map_expr(rng)};",
+                "  }",
+                "}",
+                "for (int i = 0; i < n; ++i) {",
+                "  comp += b[i];",
+                "}",
+            ]
+        return "guarded", [
             "for (int i = 0; i < n; ++i) {",
-            f"  if ({arr}[i] > 0.0) {{",
+            f"  if ({guard}) {{",
             f"    comp += {arr}[i];",
             "  }",
             "}",

@@ -221,6 +221,64 @@ class VecSiToFp:
     ty: str = "double"
 
 
+# -- mask-typed vector nodes (the if-conversion tier) --------------------------
+#
+# A *mask* is a vector of lane predicates (0/1 ints).  If-conversion turns
+# a conditional loop body into select form; widening that form evaluates
+# BOTH arms in every lane and blends by mask — which is exactly how
+# speculated lanes compute values (and rounding sequences) the scalar
+# branchy loop never executes.
+
+
+@dataclass(frozen=True, slots=True)
+class VecCmp:
+    """Lane-wise comparison producing a mask (1 where the predicate holds).
+
+    NaN semantics match scalar :class:`Compare`: any NaN operand makes
+    every ordered predicate false (and only ``!=`` true) in that lane.
+    """
+
+    op: str  # == != < <= > >=
+    left: "Expr"
+    right: "Expr"
+    lanes: int
+
+
+@dataclass(frozen=True, slots=True)
+class VecSelect:
+    """Lane-wise mask blend: ``mask[j] ? then[j] : other[j]``.
+
+    Unlike the short-circuit scalar :class:`Select`, **both** operand
+    vectors are fully evaluated — the defining semantics of if-converted
+    lanes under SIMD/warp predication.
+    """
+
+    mask: "Expr"
+    then: "Expr"
+    other: "Expr"
+    lanes: int
+    ty: str = "double"
+
+
+@dataclass(frozen=True, slots=True)
+class VecMaskedLoad:
+    """Unit-stride vector load with zeroing masking (AVX-512 style).
+
+    Active lanes (mask true, or false when ``invert``) read
+    ``name[index+j]`` with the usual bounds/uninitialized trapping;
+    inactive lanes produce ``0.0`` without touching memory — so a load
+    the scalar loop guarded (e.g. ``if (i > 0) ... a[i-1]``) cannot trap
+    in lanes the guard would have skipped.
+    """
+
+    name: str
+    index: "Expr"
+    mask: "Expr"
+    lanes: int
+    ty: str  # element type
+    invert: bool = False
+
+
 #: Horizontal-reduction shapes.  The *shape* is the observable: each one
 #: combines the same lanes in a different association order, so two
 #: binaries reducing the same data with different shapes (or widths)
@@ -296,6 +354,9 @@ Expr = Union[
     VecFma,
     VecCall,
     VecSiToFp,
+    VecCmp,
+    VecSelect,
+    VecMaskedLoad,
     VecReduce,
 ]
 
@@ -304,7 +365,8 @@ _FP_NODES = (FConst, FBin, FNeg, Fma, FCall, SiToFp, FpExt, FpTrunc)
 #: Every vector-valued node (``VecReduce`` consumes a vector but produces
 #: a scalar, so it is *not* in this set).
 VECTOR_NODES = (
-    VecConst, VecSplat, VecIota, VecLoad, VecBin, VecNeg, VecFma, VecCall, VecSiToFp
+    VecConst, VecSplat, VecIota, VecLoad, VecBin, VecNeg, VecFma, VecCall,
+    VecSiToFp, VecCmp, VecSelect, VecMaskedLoad,
 )
 
 #: Every node of the vector tier, vector-valued or not — the isinstance
@@ -318,7 +380,9 @@ def expr_type(e: Expr) -> str:
     Vector nodes report their lane type; use :func:`lanes_of` to tell a
     vector from a scalar.
     """
-    if isinstance(e, (IConst, IBin, INeg, Compare, Logic, Not, FpToSi, VecIota)):
+    if isinstance(
+        e, (IConst, IBin, INeg, Compare, Logic, Not, FpToSi, VecIota, VecCmp)
+    ):
         return "int"
     if isinstance(e, (Load, LoadElem)):
         return e.ty
@@ -345,7 +409,7 @@ def lanes_of(e: Expr) -> int:
 def walk(e: Expr):
     """Yield ``e`` and all sub-expressions, pre-order."""
     yield e
-    if isinstance(e, (FBin, IBin, Compare, Logic, VecBin)):
+    if isinstance(e, (FBin, IBin, Compare, Logic, VecBin, VecCmp)):
         yield from walk(e.left)
         yield from walk(e.right)
     elif isinstance(
@@ -364,8 +428,15 @@ def walk(e: Expr):
         yield from walk(e.cond)
         yield from walk(e.then)
         yield from walk(e.other)
+    elif isinstance(e, VecSelect):
+        yield from walk(e.mask)
+        yield from walk(e.then)
+        yield from walk(e.other)
     elif isinstance(e, (LoadElem, VecLoad)):
         yield from walk(e.index)
+    elif isinstance(e, VecMaskedLoad):
+        yield from walk(e.index)
+        yield from walk(e.mask)
     elif isinstance(e, VecIota):
         yield from walk(e.base)
 
@@ -414,6 +485,28 @@ class SVecStore:
 
 
 @dataclass(frozen=True, slots=True)
+class SMaskedStore:
+    """Predicated element store; the masked variant of a store.
+
+    At ``lanes == 1`` this is the *scalar* predicated form if-conversion
+    produces for a store that appears in only one arm: ``mask`` is a
+    scalar condition, evaluated first, and the store (index, value and
+    memory write) happens only when it is true — bit- and trap-identical
+    to the original guarded store.  The vectorizer widens it in place:
+    at ``lanes > 1`` the mask is a lane predicate vector and only active
+    lanes are bounds-checked and written (AVX-512 ``vmovupd {k}`` /
+    predicated warp store).
+    """
+
+    name: str
+    index: Expr
+    mask: Expr
+    value: Expr
+    elem_ty: str
+    lanes: int = 1
+
+
+@dataclass(frozen=True, slots=True)
 class SIf:
     cond: Expr
     then: tuple["Stmt", ...]
@@ -450,7 +543,16 @@ class SReturn:
 
 
 Stmt = Union[
-    SAssign, SDeclArray, SStoreElem, SVecStore, SIf, SFor, SWhile, SPrint, SReturn
+    SAssign,
+    SDeclArray,
+    SStoreElem,
+    SVecStore,
+    SMaskedStore,
+    SIf,
+    SFor,
+    SWhile,
+    SPrint,
+    SReturn,
 ]
 
 
@@ -476,6 +578,10 @@ def stmt_exprs(s: Stmt):
     elif isinstance(s, SDeclArray) and s.init is not None:
         yield from s.init
     elif isinstance(s, (SStoreElem, SVecStore)):
+        yield s.index
+        yield s.value
+    elif isinstance(s, SMaskedStore):
+        yield s.mask
         yield s.index
         yield s.value
     elif isinstance(s, SIf):

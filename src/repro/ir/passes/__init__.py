@@ -10,6 +10,7 @@ model is just an ordered pipeline of these.
 from repro.ir.passes.base import Pass, PassPipeline
 from repro.ir.passes.constant_fold import ConstantFold
 from repro.ir.passes.fma_contract import FmaContract
+from repro.ir.passes.if_convert import IfConvert
 from repro.ir.passes.loop_unroll import LoopUnroll
 from repro.ir.passes.reassociate import Reassociate
 from repro.ir.passes.recip_div import ReciprocalDivision
@@ -22,6 +23,7 @@ __all__ = [
     "PassPipeline",
     "ConstantFold",
     "FmaContract",
+    "IfConvert",
     "LoopUnroll",
     "Reassociate",
     "ReciprocalDivision",

@@ -64,6 +64,25 @@ def rebuild_expr(e: ir.Expr, fn) -> ir.Expr:
         e = ir.VecCall(e.name, tuple(rebuild_expr(a, fn) for a in e.args), e.lanes, e.ty)
     elif isinstance(e, ir.VecReduce):
         e = ir.VecReduce(e.op, rebuild_expr(e.operand, fn), e.lanes, e.ty, e.style)
+    elif isinstance(e, ir.VecCmp):
+        e = ir.VecCmp(e.op, rebuild_expr(e.left, fn), rebuild_expr(e.right, fn), e.lanes)
+    elif isinstance(e, ir.VecSelect):
+        e = ir.VecSelect(
+            rebuild_expr(e.mask, fn),
+            rebuild_expr(e.then, fn),
+            rebuild_expr(e.other, fn),
+            e.lanes,
+            e.ty,
+        )
+    elif isinstance(e, ir.VecMaskedLoad):
+        e = ir.VecMaskedLoad(
+            e.name,
+            rebuild_expr(e.index, fn),
+            rebuild_expr(e.mask, fn),
+            e.lanes,
+            e.ty,
+            e.invert,
+        )
     elif isinstance(e, (ir.SiToFp, ir.FpToSi, ir.FpExt, ir.FpTrunc)):
         cls = type(e)
         if isinstance(e, ir.SiToFp):
@@ -105,6 +124,10 @@ class ExprRewritePass(Pass):
             return ir.SStoreElem(s.name, rw(s.index), rw(s.value), s.elem_ty)
         if isinstance(s, ir.SVecStore):
             return ir.SVecStore(s.name, rw(s.index), rw(s.value), s.elem_ty, s.lanes)
+        if isinstance(s, ir.SMaskedStore):
+            return ir.SMaskedStore(
+                s.name, rw(s.index), rw(s.mask), rw(s.value), s.elem_ty, s.lanes
+            )
         if isinstance(s, ir.SIf):
             return ir.SIf(rw(s.cond), self._stmts(s.then), self._stmts(s.other))
         if isinstance(s, ir.SFor):

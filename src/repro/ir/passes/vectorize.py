@@ -33,6 +33,19 @@ stride-``W`` loop of ``W`` isomorphic statement copies), the vectorizer
 re-rolls the copies and widens the canonical one, so
 ``unroll(W) -> vectorize(W)`` produces exactly the kernel that
 ``vectorize(W)`` alone would — the pass-ordering property the tests pin.
+
+Masked (if-converted) tier: ``Vectorize(width, style, masked=True)``
+additionally widens the select form
+:class:`~repro.ir.passes.if_convert.IfConvert` produces.  A scalar
+``Select`` becomes a :class:`~repro.ir.nodes.VecSelect` over a
+:class:`~repro.ir.nodes.VecCmp` mask — **both** arms evaluate in every
+lane, the blend only picks — and element loads inside an arm become
+zero-masking :class:`~repro.ir.nodes.VecMaskedLoad` so speculation never
+traps where the scalar guard would have skipped.  A scalar predicated
+store (:class:`~repro.ir.nodes.SMaskedStore` at lanes=1) widens in place
+to its vector form.  With ``masked=False`` (the default, and the host
+behaviour below ``-O3``) all of these reject the loop, exactly as
+before.
 """
 
 from __future__ import annotations
@@ -79,7 +92,9 @@ class Vectorize(Pass):
 
     name = "vectorize"
 
-    def __init__(self, width: int = 4, style: str = "adjacent") -> None:
+    def __init__(
+        self, width: int = 4, style: str = "adjacent", masked: bool = False
+    ) -> None:
         if width < 2:
             raise ValueError("vector width must be >= 2")
         if style not in ir.REDUCE_STYLES:
@@ -88,6 +103,9 @@ class Vectorize(Pass):
             )
         self.width = width
         self.style = style
+        #: widen if-converted select forms (vs refusing them, the
+        #: pre-masking behaviour kept for levels that do not if-convert)
+        self.masked = masked
 
     def run(self, kernel: ir.Kernel) -> ir.Kernel:
         self._taken: set[str] = set(kernel.var_types)
@@ -206,20 +224,34 @@ class Vectorize(Pass):
                 ):
                     return None
                 plan.append(("map", st))
+            elif self.masked and isinstance(st, ir.SMaskedStore) and st.lanes == 1:
+                if not (
+                    isinstance(st.index, ir.Load) and st.index.name == loop.var
+                ):
+                    return None
+                plan.append(("masked-map", st))
             else:
                 return None
+
+        def payload_exprs(kind: str, payload) -> tuple[ir.Expr, ...]:
+            if kind == "reduce":
+                return (payload.expr,)
+            if kind == "masked-map":
+                return (payload.mask, payload.value)
+            return (payload.value,)
+
         # Accumulators must be private to their own statement: any other
         # read (in a map value, another reduction's expression) blocks.
-        for st, (kind, payload) in zip(body, plan):
-            expr = payload.expr if kind == "reduce" else st.value
-            for e in ir.walk(expr):
-                if isinstance(e, ir.Load) and e.name in accs:
-                    return None
+        for kind, payload in plan:
+            for expr in payload_exprs(kind, payload):
+                for e in ir.walk(expr):
+                    if isinstance(e, ir.Load) and e.name in accs:
+                        return None
         # The bound variable must not be stored through a vectorized map
         # (it is re-read by the loop condition).
         if isinstance(loop.bound, ir.Load):
             for kind, payload in plan:
-                if kind == "map" and payload.name == loop.bound.name:
+                if kind in ("map", "masked-map") and payload.name == loop.bound.name:
                     return None
         # No loop-carried memory dependence: if the body stores to an
         # array, every read of that array must sit exactly at the store's
@@ -227,22 +259,33 @@ class Vectorize(Pass):
         # previous scalar iteration wrote, which lanes executed together
         # cannot reproduce.  Real vectorizers reject this in dependence
         # analysis; so do we.
-        stored = {payload.name for kind, payload in plan if kind == "map"}
+        stored = {
+            payload.name for kind, payload in plan if kind in ("map", "masked-map")
+        }
         if stored:
             for kind, payload in plan:
-                expr = payload.expr if kind == "reduce" else payload.value
-                for e in ir.walk(expr):
-                    if isinstance(e, ir.LoadElem) and e.name in stored:
-                        if not (
-                            isinstance(e.index, ir.Load)
-                            and e.index.name == loop.var
-                        ):
-                            return None
+                for expr in payload_exprs(kind, payload):
+                    for e in ir.walk(expr):
+                        if isinstance(e, ir.LoadElem) and e.name in stored:
+                            if not (
+                                isinstance(e.index, ir.Load)
+                                and e.index.name == loop.var
+                            ):
+                                return None
         # Every expression must widen.
         for kind, payload in plan:
-            expr = payload.expr if kind == "reduce" else payload.value
-            if self._widen(expr, loop.var) is None:
-                return None
+            if kind == "masked-map":
+                if self._widen_mask(payload.mask, loop.var) is None:
+                    return None
+                if (
+                    self._widen(payload.value, loop.var, mask=(payload.mask, False))
+                    is None
+                ):
+                    return None
+            else:
+                expr = payload.expr if kind == "reduce" else payload.value
+                if self._widen(expr, loop.var) is None:
+                    return None
         return plan
 
     def _as_reduction(self, st: ir.SAssign) -> _Reduction | None:
@@ -293,19 +336,48 @@ class Vectorize(Pass):
             isinstance(sub, ir.Load) and sub.name == var for sub in ir.walk(e)
         )
 
-    def _widen(self, e: ir.Expr, var: str) -> ir.Expr | None:
+    def _widen_mask(self, cond: ir.Expr, var: str) -> ir.Expr | None:
+        """The ``width``-lane predicate vector of a scalar condition.
+
+        Only floating comparisons whose operands widen are accepted —
+        the shape if-conversion and source ternaries produce.  The
+        operands are evaluated in every lane (a condition runs on every
+        scalar trip too), so they widen without a mask context.
+        """
+        if not (isinstance(cond, ir.Compare) and cond.fp):
+            return None
+        left = self._widen(cond.left, var)
+        right = self._widen(cond.right, var)
+        if left is None or right is None:
+            return None
+        return ir.VecCmp(cond.op, left, right, self.width)
+
+    def _widen(
+        self,
+        e: ir.Expr,
+        var: str,
+        mask: tuple[ir.Expr, bool] | None = None,
+    ) -> ir.Expr | None:
         """Rewrite a scalar body expression into its ``width``-lane form.
 
         Loop-invariant subtrees broadcast (:class:`~repro.ir.nodes.VecSplat`),
         unit-stride element reads become :class:`~repro.ir.nodes.VecLoad`,
         and uses of the induction variable step per lane through
-        :class:`~repro.ir.nodes.VecIota`.  Anything else (conditionals,
-        non-affine indices, already-vector nodes) rejects the loop.
+        :class:`~repro.ir.nodes.VecIota`.  When ``masked`` is enabled, a
+        ``Select`` widens to a mask blend whose arms carry ``mask`` — the
+        governing ``(condition, inverted)`` context — down to their
+        element reads, which become zero-masking
+        :class:`~repro.ir.nodes.VecMaskedLoad` (the arm is speculated;
+        its loads must not trap in lanes the scalar guard skipped).
+        Anything else (non-affine indices, already-vector nodes, nested
+        selects) rejects the loop.
         """
         w = self.width
         if not self._uses_var(e, var):
             # Loop-invariant: broadcast the whole subtree unwidened.  Only
-            # valid for scalar expressions of known element type.
+            # valid for scalar expressions of known element type.  Inside
+            # a masked arm the broadcast still evaluates once per vector
+            # trip — invariant speculation, like a hoisted load.
             if isinstance(e, ir.ANY_VECTOR_NODES):
                 return None
             ty = ir.expr_type(e)
@@ -316,35 +388,49 @@ class Vectorize(Pass):
             base = self._affine(e.index, var)
             if base is None:
                 return None
-            return ir.VecLoad(e.name, base, w, e.ty)
+            if mask is None:
+                return ir.VecLoad(e.name, base, w, e.ty)
+            lane_mask = self._widen_mask(mask[0], var)
+            if lane_mask is None:
+                return None
+            return ir.VecMaskedLoad(e.name, base, lane_mask, w, e.ty, mask[1])
         if isinstance(e, ir.SiToFp):
             base = self._affine(e.operand, var)
             if base is None:
                 return None
             return ir.VecSiToFp(ir.VecIota(base, w), w, e.ty)
         if isinstance(e, ir.FBin):
-            left = self._widen(e.left, var)
-            right = self._widen(e.right, var)
+            left = self._widen(e.left, var, mask)
+            right = self._widen(e.right, var, mask)
             if left is None or right is None:
                 return None
             return ir.VecBin(e.op, left, right, w, e.ty)
         if isinstance(e, ir.FNeg):
-            inner = self._widen(e.operand, var)
+            inner = self._widen(e.operand, var, mask)
             if inner is None:
                 return None
             return ir.VecNeg(inner, w, e.ty)
         if isinstance(e, ir.Fma):
-            a = self._widen(e.a, var)
-            b = self._widen(e.b, var)
-            c = self._widen(e.c, var)
+            a = self._widen(e.a, var, mask)
+            b = self._widen(e.b, var, mask)
+            c = self._widen(e.c, var, mask)
             if a is None or b is None or c is None:
                 return None
             return ir.VecFma(a, b, c, w, e.ty)
         if isinstance(e, ir.FCall):
-            args = [self._widen(a, var) for a in e.args]
+            args = [self._widen(a, var, mask) for a in e.args]
             if any(a is None for a in args):
                 return None
             return ir.VecCall(e.name, tuple(args), w, e.ty)
+        if isinstance(e, ir.Select) and self.masked and mask is None:
+            lane_mask = self._widen_mask(e.cond, var)
+            if lane_mask is None:
+                return None
+            then = self._widen(e.then, var, mask=(e.cond, False))
+            other = self._widen(e.other, var, mask=(e.cond, True))
+            if then is None or other is None:
+                return None
+            return ir.VecSelect(lane_mask, then, other, w, e.ty)
         return None
 
     # -- emission ----------------------------------------------------------------
@@ -379,6 +465,16 @@ class Vectorize(Pass):
                 widened = self._widen(st.value, var)
                 vector_body.append(
                     ir.SVecStore(st.name, ir.Load(var, "int"), widened, st.elem_ty, w)
+                )
+                continue
+            if kind == "masked-map":
+                st = payload
+                lane_mask = self._widen_mask(st.mask, var)
+                widened = self._widen(st.value, var, mask=(st.mask, False))
+                vector_body.append(
+                    ir.SMaskedStore(
+                        st.name, ir.Load(var, "int"), lane_mask, widened, st.elem_ty, w
+                    )
                 )
                 continue
             red = payload

@@ -16,6 +16,10 @@ Differences from the gcc model that drive gcc-vs-clang inconsistencies:
   extraction (``ladder``) rather than gcc's pairwise tree — the vector
   analogue of clang's linear-chain canonicalization — so the two hosts
   bitwise-diverge on vectorized reductions even at matching widths;
+* from ``-O3`` (and under fast math) the vectorizer if-converts
+  conditional loop bodies into masked select form before widening, like
+  gcc — the two hosts then diverge on *masked* reductions through their
+  different horizontal styles;
 * ``-ffast-math`` reassociates by operand rank (canonicalization) rather
   than gcc's balanced reduction, expands fewer pow special cases, and keeps
   ``pow(x, 0.5)`` as a call.
@@ -29,6 +33,7 @@ from repro.ir.passes import (
     ConstantFold,
     FiniteMathSimplify,
     FunctionSubstitution,
+    IfConvert,
     LoopUnroll,
     PassPipeline,
     Reassociate,
@@ -36,7 +41,7 @@ from repro.ir.passes import (
     Vectorize,
 )
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import OptLevel, vector_width_for
+from repro.toolchains.optlevels import OptLevel, if_conversion_for, vector_width_for
 
 __all__ = ["ClangCompiler"]
 
@@ -53,7 +58,13 @@ class ClangCompiler(Compiler):
         width = vector_width_for(self.name, level)
         if not width:
             return []
-        return [LoopUnroll(width), Vectorize(width, style=self.REDUCE_STYLE)]
+        masked = if_conversion_for(self.name, level)
+        passes: list = [IfConvert()] if masked else []
+        passes += [
+            LoopUnroll(width),
+            Vectorize(width, style=self.REDUCE_STYLE, masked=masked),
+        ]
+        return passes
 
     def pipeline(self, level: OptLevel) -> PassPipeline:
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):

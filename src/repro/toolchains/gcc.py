@@ -14,6 +14,10 @@ Mechanisms (see DESIGN.md "mechanism map"):
   enabling unroll then SLP widening of innermost reduction/map loops, with
   ``adjacent`` (haddpd-style pairwise) horizontal reductions — the
   vector-tier counterpart of gcc's balanced-tree reassociation;
+* from ``-O3`` (and under fast math) the vectorizer also **if-converts**
+  conditional loop bodies into masked select form before widening —
+  every lane evaluates both arms and blends by mask — while at ``-O2``
+  the cost model keeps conditional bodies as scalar branches;
 * ``-ffast-math`` adds reciprocal math, pow expansion (including
   ``pow(x, 0.5) -> sqrt``), balanced-tree reassociation, and
   finite-math-only simplifications, then vectorizes at the full 8 lanes.
@@ -27,6 +31,7 @@ from repro.ir.passes import (
     ConstantFold,
     FiniteMathSimplify,
     FunctionSubstitution,
+    IfConvert,
     LoopUnroll,
     PassPipeline,
     Reassociate,
@@ -34,7 +39,7 @@ from repro.ir.passes import (
     Vectorize,
 )
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import OptLevel, vector_width_for
+from repro.toolchains.optlevels import OptLevel, if_conversion_for, vector_width_for
 
 __all__ = ["GccCompiler"]
 
@@ -51,7 +56,13 @@ class GccCompiler(Compiler):
         width = vector_width_for(self.name, level)
         if not width:
             return []
-        return [LoopUnroll(width), Vectorize(width, style=self.REDUCE_STYLE)]
+        masked = if_conversion_for(self.name, level)
+        passes: list = [IfConvert()] if masked else []
+        passes += [
+            LoopUnroll(width),
+            Vectorize(width, style=self.REDUCE_STYLE, masked=masked),
+        ]
+        return passes
 
     def pipeline(self, level: OptLevel) -> PassPipeline:
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):

@@ -19,6 +19,11 @@ device semantics:
   optimization level, so — like FMA contraction — it applies at every
   level except the explicit most-IEEE baseline ``O0_nofma``, keeping the
   nvcc column flat across O0..O3;
+* **predicates** conditional loop bodies at every vectorizing level:
+  warp "branches" are predication (divergent lanes execute both sides
+  under an active mask), a property of the machine rather than of an
+  optimization level, so conditional reductions if-convert and widen
+  wherever the warp reduction itself engages;
 * under ``--use_fast_math`` the *single-precision* pipeline additionally
   flushes subnormals to zero and uses approximate division/square root and
   hardware intrinsics; double-precision math is unaffected (matching CUDA's
@@ -31,7 +36,7 @@ from __future__ import annotations
 from repro.fp.env import FPEnvironment
 from repro.fp.formats import Precision
 from repro.fp.mathlib import CudaLibm, FastCudaLibm
-from repro.ir.passes import FmaContract, PassPipeline, Vectorize
+from repro.ir.passes import FmaContract, IfConvert, PassPipeline, Vectorize
 from repro.toolchains.base import Compiler, CompilerKind
 from repro.toolchains.optlevels import WARP_WIDTH, OptLevel
 
@@ -66,7 +71,8 @@ class NvccCompiler(Compiler):
         return PassPipeline(
             [
                 FmaContract(site_prob=self.fmad_prob),
-                Vectorize(WARP_WIDTH, style=self.REDUCE_STYLE),
+                IfConvert(),
+                Vectorize(WARP_WIDTH, style=self.REDUCE_STYLE, masked=True),
             ]
         )
 

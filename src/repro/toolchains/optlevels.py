@@ -90,3 +90,29 @@ def vector_width_for(compiler_family: str, level: OptLevel) -> int:
     if compiler_family == "nvcc":
         return 0 if level is OptLevel.O0_NOFMA else WARP_WIDTH
     raise KeyError(f"unknown compiler family {compiler_family!r}")
+
+
+# -- the if-conversion (masking) tier ------------------------------------------
+#
+# Whether the family's vectorizer if-converts conditional loop bodies
+# (select-based masking) before widening.  Hosts model the cost-driven
+# behaviour of gcc/clang: masked vectorization only at -O3 and under
+# fast math, where the vectorizer's cost model stops being conservative
+# about the blend overhead — at -O2 conditional bodies stay scalar
+# branches.  The device model predicates at every level that vectorizes
+# at all: GPU "branches" within a warp *are* predication (divergent
+# lanes execute both sides under an active mask), a property of the
+# machine rather than of an optimization level, so — like FMA
+# contraction and the warp reduction itself — only the explicit
+# most-IEEE baseline O0_nofma turns it off.
+
+_HOST_IF_CONVERT_LEVELS = frozenset({OptLevel.O3, OptLevel.O3_FASTMATH})
+
+
+def if_conversion_for(compiler_family: str, level: OptLevel) -> bool:
+    """Whether the family if-converts (masks) conditional loops at ``level``."""
+    if not vector_width_for(compiler_family, level):
+        return False
+    if compiler_family in ("gcc", "clang"):
+        return level in _HOST_IF_CONVERT_LEVELS
+    return True  # nvcc: warp predication at every vectorizing level

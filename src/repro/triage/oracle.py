@@ -18,7 +18,8 @@ from repro.difftest.classify import (
     devectorized_fingerprint,
     inconsistency_kind,
     kind_label,
-    vector_reduction_tag,
+    masked_shape,
+    structural_tag,
     vector_shape,
 )
 from repro.difftest.engine import _differing_values, _BinaryRun, frontend_kernels
@@ -102,12 +103,14 @@ class PairOracle:
             _BinaryRun(sig_b, rb.value, rb.printed),
         )
         # Same precedence as the engine's compare stage: the structural
-        # vector-reduction kind over the value-class pair, so a reduction
-        # verdict agrees with what the campaign recorded.
+        # vector-reduction / masked-lane kind over the value-class pair,
+        # so a reduction verdict agrees with what the campaign recorded.
         ba, bb = binaries
-        tag = vector_reduction_tag(
+        tag = structural_tag(
             vector_shape(ba.kernel),
             vector_shape(bb.kernel),
+            masked_shape(ba.kernel),
+            masked_shape(bb.kernel),
             env_fingerprint(ba.env) == env_fingerprint(bb.env),
             devectorized_fingerprint(ba.kernel) == devectorized_fingerprint(bb.kernel),
         )

@@ -68,10 +68,11 @@ class InconsistencySignature:
 def signature_of(record: ComparisonRecord) -> InconsistencySignature:
     """The signature of one inconsistent :class:`ComparisonRecord`.
 
-    A structural kind (``vector-reduction``) takes precedence over the
-    value-class pair: it carries strictly more information about the root
-    cause, so triage clusters vector divergences separately from
-    same-class environmental ones.
+    A structural kind (``vector-reduction`` / ``masked-lane``) takes
+    precedence over the value-class pair: it carries strictly more
+    information about the root cause, so triage clusters vector and
+    masked-lane divergences separately from same-class environmental
+    ones.
     """
     if record.consistent:
         raise ValueError("comparison is consistent; it has no signature")

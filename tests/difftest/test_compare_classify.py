@@ -208,6 +208,45 @@ class TestVectorReductionKind:
         assert fastmath, "reassociation styles must split the hosts here"
         assert all(c.tag is None for c in fastmath)
 
+    def test_vector_condition_stripped_width_independently(self):
+        """Regression: a compound statement whose *condition* carries
+        vector nodes must not make devectorized bodies width-dependent —
+        the old strip kept conditions verbatim, so masks of two widths
+        produced spuriously different fingerprints."""
+        from repro.difftest.classify import devectorized_body
+        from repro.ir import nodes as ir
+
+        def kernel_with_mask_cond(lanes):
+            cond = ir.Compare(
+                ">",
+                ir.VecReduce(
+                    "+", ir.VecConst((1.0,) * lanes, "double"), lanes, "double"
+                ),
+                ir.FConst(0.0),
+                fp=True,
+            )
+            return ir.Kernel(
+                "compute",
+                (),
+                (
+                    ir.SIf(cond, (ir.SAssign("x", ir.FConst(1.0), "double"),)),
+                    ir.SWhile(cond, ()),
+                ),
+            )
+
+        assert devectorized_body(kernel_with_mask_cond(4)) == devectorized_body(
+            kernel_with_mask_cond(8)
+        )
+        stripped = devectorized_body(kernel_with_mask_cond(4))
+        # the scalar assignment inside survives; the vector cond does not
+        assert any(isinstance(s, ir.SIf) for s in ir.walk_stmts(stripped))
+        assert all(
+            not isinstance(e, ir.ANY_VECTOR_NODES)
+            for s in ir.walk_stmts(stripped)
+            for top in ir.stmt_exprs(s)
+            for e in ir.walk(top)
+        )
+
     def test_nested_vector_loop_strips_without_hiding_scalar_code(self):
         """Regression: a vectorizable loop nested inside outer control
         flow must not drag its surrounding scalar statements out of the
@@ -250,3 +289,163 @@ class TestVectorReductionKind:
         ]
         assert fastmath, "reassociation styles must split the hosts here"
         assert all(c.tag is None for c in fastmath)
+
+
+class TestMaskedLaneKind:
+    GUARDED = (
+        "#include <stdio.h>\n"
+        "void compute(double *a, int n) {\n"
+        "  double comp = 0.0;\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    if (a[i] > 0.0) { comp += a[i]; }\n"
+        "  }\n"
+        '  printf("%.17g\\n", comp);\n'
+        "}\n"
+        "int main(int argc, char **argv) {\n"
+        "  double in_a[16];\n"
+        "  for (int i = 0; i < 16; ++i) { in_a[i] = atof(argv[1 + i]); }\n"
+        "  compute(in_a, atoi(argv[17]));\n"
+        "  return 0;\n"
+        "}\n"
+    )
+    ARR16 = (
+        -2.161244991344777, 16.744850325199423, -2140.123310536274,
+        -667.4296376438043, 33.12432414736006, 8604.15565518937,
+        4.366101377828139, -373427.6696042438, -13.557686496180793,
+        -856.9062739358501, 2.8392700153319588, 46.56981918402771,
+        6.836221364114393, 21.37550366737585, -134.8944261290064,
+        294524.6182501556,
+    )
+
+    def _masked_kernel(self, style="adjacent", width=4):
+        from repro.frontend.parser import parse_program
+        from repro.frontend.sema import check_program
+        from repro.ir.lower import lower_compute
+        from repro.ir.passes import IfConvert, Vectorize
+
+        scalar = lower_compute(check_program(parse_program(self.GUARDED)))
+        return scalar, Vectorize(width, style, masked=True).run(
+            IfConvert().run(scalar)
+        )
+
+    def test_masked_shape_lists_mask_sites(self):
+        from repro.difftest.classify import masked_shape
+
+        scalar, vec = self._masked_kernel()
+        assert masked_shape(scalar) == ()
+        kinds = {site[0] for site in masked_shape(vec)}
+        # the masked region's own reduction belongs to the mask tier
+        assert kinds == {"cmp", "select", "mload", "reduce"}
+
+    def test_masked_shape_excludes_unmasked_reductions(self):
+        """A plain (unguarded) vectorized reduction contributes to
+        vector_shape but not to masked_shape — so a style divergence in
+        an unmasked loop next to identically-masked code still tags
+        vector-reduction, not masked-lane."""
+        from repro.difftest.classify import masked_shape, vector_shape
+        from repro.frontend.parser import parse_program
+        from repro.frontend.sema import check_program
+        from repro.ir.lower import lower_compute
+        from repro.ir.passes import IfConvert, Vectorize
+
+        src = (
+            "#include <stdio.h>\n"
+            "void compute(double *a, double *b, int n) {\n"
+            "  double comp = 0.0;\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    if (a[i] > 0.0) { b[i] = a[i]; }\n"
+            "  }\n"
+            "  for (int i = 0; i < n; ++i) { comp += a[i]; }\n"
+            '  printf("%.17g\\n", comp);\n'
+            "}\n"
+            "int main(int argc, char **argv) {\n"
+            "  double in_a[8];\n"
+            "  double in_b[8];\n"
+            "  for (int i = 0; i < 8; ++i) { in_a[i] = atof(argv[1 + i]);"
+            " in_b[i] = 0.0; }\n"
+            "  compute(in_a, in_b, atoi(argv[9]));\n"
+            "  return 0;\n"
+            "}\n"
+        )
+        scalar = lower_compute(check_program(parse_program(src)))
+        adjacent = Vectorize(4, "adjacent", masked=True).run(IfConvert().run(scalar))
+        ladder = Vectorize(4, "ladder", masked=True).run(IfConvert().run(scalar))
+        # the guarded map masked identically on both sides ...
+        assert masked_shape(adjacent) == masked_shape(ladder) != ()
+        assert all(site[0] != "reduce" for site in masked_shape(adjacent))
+        # ... while the unmasked reduction's style differs
+        assert vector_shape(adjacent) != vector_shape(ladder)
+
+    def test_scalar_select_form_has_no_masked_shape(self):
+        from repro.difftest.classify import masked_shape
+        from repro.frontend.parser import parse_program
+        from repro.frontend.sema import check_program
+        from repro.ir.lower import lower_compute
+        from repro.ir.passes import IfConvert
+
+        scalar = lower_compute(check_program(parse_program(self.GUARDED)))
+        assert masked_shape(IfConvert().run(scalar)) == ()
+
+    def test_structural_tag_precedence(self):
+        from repro.difftest.classify import (
+            MASKED_LANE,
+            VECTOR_REDUCTION,
+            structural_tag,
+        )
+
+        plain_a, plain_b = (("+", 4, "adjacent"),), (("+", 4, "ladder"),)
+        masked = (("cmp", ">", 4), ("select", 4), ("reduce", "+", 4, "adjacent"))
+        masked_other = (("cmp", ">", 4), ("select", 4), ("reduce", "+", 4, "ladder"))
+        # differing masked shapes name the narrower mechanism
+        assert (
+            structural_tag(plain_a, plain_b, masked, masked_other, True, True)
+            == MASKED_LANE
+        )
+        assert (
+            structural_tag(plain_a, plain_a, masked, (), True, True) == MASKED_LANE
+        )
+        # identical masked shapes + differing reduction shapes: the
+        # divergence came from an *unmasked* loop — plain vector-reduction
+        assert (
+            structural_tag(plain_a, plain_b, masked, masked, True, True)
+            == VECTOR_REDUCTION
+        )
+        assert (
+            structural_tag(plain_a, plain_b, (), (), True, True)
+            == VECTOR_REDUCTION
+        )
+        # precision preconditions still gate everything
+        assert structural_tag(plain_a, plain_b, masked, masked_other, False, True) is None
+        assert structural_tag(plain_a, plain_b, masked, masked_other, True, False) is None
+        # identical shapes on both axes: nothing structural to blame
+        assert structural_tag(plain_a, plain_a, masked, masked, True, True) is None
+
+    def test_masked_lane_tag_end_to_end(self):
+        """gcc vs clang at O3: both if-convert identically, both widen to
+        8 lanes, but reduce horizontally in different styles — the
+        comparison carries the masked-lane tag."""
+        from repro.difftest.classify import MASKED_LANE
+        from repro.difftest.config import CampaignConfig
+        from repro.difftest.engine import CampaignEngine
+        from repro.generation.program import GeneratedProgram
+        from repro.toolchains import ClangCompiler, GccCompiler, OptLevel
+
+        engine = CampaignEngine(
+            [GccCompiler(), ClangCompiler()], CampaignConfig(budget=1)
+        )
+        outcome = engine.test_program(
+            0,
+            GeneratedProgram(source=self.GUARDED, inputs=(self.ARR16, 16)),
+        )
+        o3 = [
+            c
+            for c in outcome.inconsistent_comparisons
+            if c.level in (OptLevel.O3, OptLevel.O3_FASTMATH)
+        ]
+        assert o3, "the hosts' masked reduction styles must split here"
+        assert all(c.tag == MASKED_LANE for c in o3)
+        # at O2 neither host if-converts: the guarded loop stays a scalar
+        # branch on both sides, so O2 comparisons agree
+        assert all(
+            c.consistent for c in outcome.comparisons if c.level is OptLevel.O2
+        )

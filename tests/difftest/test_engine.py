@@ -163,6 +163,32 @@ class TestBackendEquivalence:
         ]
         assert "vector-reduction" in tags  # the tier actually fired
 
+    def test_masked_lanes_identical_across_backends(self):
+        """Masked (if-converted) lane math is just as deterministic: a
+        guarded-loops workload — conditional bodies the hosts if-convert
+        at O3 and nvcc predicates everywhere — produces byte-identical
+        campaigns on every backend, masked-lane tags included."""
+        serial = run_with(
+            EngineConfig(backend="serial", jobs=1), approach="loops", budget=10
+        )
+        thread = run_with(
+            EngineConfig(backend="thread", jobs=4), approach="loops", budget=10
+        )
+        process = run_with(
+            EngineConfig(backend="process", jobs=2), approach="loops", budget=10
+        )
+        assert result_key(serial) == result_key(thread)
+        assert result_key(serial) == result_key(process)
+        patterns = [o.program.meta.get("pattern", "") for o in serial.outcomes]
+        assert any("guarded" in p for p in patterns)  # workload is guarded
+        tags = [
+            c.tag
+            for o in serial.outcomes
+            for c in o.comparisons
+            if not c.consistent and c.tag
+        ]
+        assert "masked-lane" in tags  # the masked tier actually fired
+
     def test_process_with_llm_approach_identical(self):
         serial = run_with(
             EngineConfig(backend="serial", jobs=1), approach="llm4fp", budget=5

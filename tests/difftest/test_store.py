@@ -321,6 +321,119 @@ class TestLoadResult:
         assert "programs:             6" in out
 
 
+def write_legacy_file(path, version, budget=2):
+    """Synthesize a pre-masked-tier checkpoint: an old header version and
+    outcome rows without the ``tag`` field (v1) exactly as PR-3-era
+    nightlies wrote them."""
+    header = {"kind": "campaign", "version": version, **HEADER, "budget": budget}
+    lines = [json.dumps(header, separators=(",", ":"))]
+    for index in range(budget):
+        record = encode_outcome(make_outcome(index))
+        for comparison in record["comparisons"]:
+            del comparison["tag"]
+        lines.append(json.dumps(record, separators=(",", ":")))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestLegacyVersions:
+    """Read-side compat: v1/v2 nightly checkpoints stay usable."""
+
+    def test_v1_file_loads_with_none_tags(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        write_legacy_file(path, version=1)
+        result = load_result(path)
+        assert len(result.outcomes) == 2
+        comparisons = result.outcomes[0].comparisons
+        assert comparisons and all(c.tag is None for c in comparisons)
+        # bit-exact payloads survive the version bridge
+        assert math.isnan(result.outcomes[0].values["gcc/O0"])
+
+    def test_v2_file_loads(self, tmp_path):
+        path = tmp_path / "v2.jsonl"
+        header = {"kind": "campaign", "version": 2, **HEADER}
+        lines = [json.dumps(header)]
+        lines += [json.dumps(encode_outcome(make_outcome(i))) for i in range(2)]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        result = load_result(path)
+        assert [o.index for o in result.outcomes] == [0, 1]
+        assert result.outcomes[0].comparisons[1].tag == "vector-reduction"
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        write_legacy_file(path, version=99)
+        with pytest.raises(CampaignStoreError, match="unsupported checkpoint"):
+            load_result(path)
+
+    def test_resume_accepts_legacy_header(self, tmp_path):
+        # --resume pointed at an old-version checkpoint of the *same*
+        # campaign replays its rows instead of rejecting the file.
+        path = tmp_path / "v1.jsonl"
+        write_legacy_file(path, version=1)
+        done = CampaignStore(path).open(HEADER)
+        assert sorted(done) == [0, 1]
+        assert all(c.tag is None for c in done[0].comparisons)
+
+    def test_legacy_resume_upgrades_header_in_place(self, tmp_path):
+        # After a legacy open the header names the current (newest
+        # writer's) version while the legacy record bytes are untouched,
+        # so rows appended by the resumed campaign never sit under a
+        # stale version label.
+        from repro.difftest.store import _FORMAT_VERSION
+
+        path = tmp_path / "v1.jsonl"
+        write_legacy_file(path, version=1)
+        old_records = path.read_bytes().partition(b"\n")[2]
+        CampaignStore(path).open(HEADER)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["version"] == _FORMAT_VERSION
+        assert path.read_bytes().partition(b"\n")[2] == old_records
+        # reopening is now the plain (non-legacy) path
+        assert sorted(CampaignStore(path).open(HEADER)) == [0, 1]
+
+    def test_resume_rejects_legacy_header_of_other_campaign(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        write_legacy_file(path, version=1)
+        with pytest.raises(CampaignStoreError, match="different campaign"):
+            CampaignStore(path).open(dict(HEADER, seed=42))
+
+    def test_resume_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        write_legacy_file(path, version=99)
+        with pytest.raises(CampaignStoreError, match="different campaign"):
+            CampaignStore(path).open(HEADER)
+
+    def test_v1_triggers_load_for_triage(self, tmp_path):
+        from repro.difftest.store import load_triggers
+
+        path = tmp_path / "v1.jsonl"
+        write_legacy_file(path, version=1)
+        triggers = load_triggers(path)
+        assert [o.index for o in triggers] == [0, 1]
+
+    def test_v1_shards_merge(self, tmp_path):
+        # One complete legacy shard set splices like a current one.
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"v1-shard{i}.jsonl"
+            header = {
+                "kind": "campaign",
+                "version": 1,
+                **HEADER,
+                "shard_index": i,
+                "shard_count": 2,
+            }
+            record = encode_outcome(make_outcome(i))
+            for comparison in record["comparisons"]:
+                del comparison["tag"]
+            path.write_text(
+                json.dumps(header) + "\n" + json.dumps(record) + "\n",
+                encoding="utf-8",
+            )
+            paths.append(path)
+        merged = merge_shards([load_result(p) for p in paths])
+        assert [o.index for o in merged.outcomes] == [0, 1]
+
+
 class TestValidationHelpers:
     def test_unsupported_input_type_rejected(self):
         from repro.difftest.store import _enc_input

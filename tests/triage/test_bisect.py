@@ -221,3 +221,90 @@ def test_reducer_preserves_vector_reduction_kind(compilers):
         by_name[sig.compiler_a], by_name[sig.compiler_b], sig.level
     )
     assert oracle.matches(reduction.reduced_source, VECTOR_INPUTS, sig)
+
+
+# -- the masked-lane (if-conversion) kind ---------------------------------------
+
+#: A conditional reduction body: at O3 both hosts if-convert it to masked
+#: select form and widen to 8 lanes, diverging only through their
+#: horizontal reduction styles — a masked-lane kind.  At O2 neither host
+#: if-converts, so the loop stays a scalar branch on both sides.
+MASKED_TRIGGER = """
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+void compute(double *a, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (a[i] > 0.0) {
+      comp += a[i];
+    }
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) {
+  double in_a[16] = {atof(argv[1]), atof(argv[2]), atof(argv[3]), atof(argv[4]),
+                     atof(argv[5]), atof(argv[6]), atof(argv[7]), atof(argv[8]),
+                     atof(argv[9]), atof(argv[10]), atof(argv[11]), atof(argv[12]),
+                     atof(argv[13]), atof(argv[14]), atof(argv[15]), atof(argv[16])};
+  compute(in_a, atoi(argv[17]));
+  return 0;
+}
+"""
+
+#: the cancellation-heavy array alone; the guarded kernel takes no scalar
+MASKED_INPUTS = (VECTOR_INPUTS[0], 16)
+
+
+def _masked_outcome(compilers):
+    from repro.generation.program import GeneratedProgram
+
+    engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+    return engine.test_program(
+        0, GeneratedProgram(source=MASKED_TRIGGER, inputs=MASKED_INPUTS)
+    )
+
+
+def test_masked_lane_kind_reaches_signatures(compilers):
+    outcome = _masked_outcome(compilers)
+    assert outcome.triggered
+    masked = [s for s in signatures_of(outcome) if s.kind == "masked-lane"]
+    assert masked, "host pair at O3 should tag as masked-lane"
+    # only host-host cells have equal environments, and only O3/fast-math
+    # if-convert on the hosts
+    assert all(s.pair == ("gcc", "clang") for s in masked)
+    assert all(
+        s.level in (OptLevel.O3, OptLevel.O3_FASTMATH) for s in masked
+    )
+
+
+def test_bisection_attributes_masked_flip(compilers):
+    """The acceptance scenario: the existing prefix-replay bisector pins a
+    masked-lane flip on the widening (vectorize) or the conversion
+    (if-convert) with no bisector changes — and never on loop-unroll."""
+    outcome = _masked_outcome(compilers)
+    sig = next(s for s in signatures_of(outcome) if s.kind == "masked-lane")
+    result = bisect_signature(MASKED_TRIGGER, MASKED_INPUTS, sig, compilers)
+    assert result.responsible_pass is not None
+    assert result.responsible_pass.name in ("vectorize", "if-convert")
+    assert result.env_deltas == ()  # host pair: same environment
+    trace = "\n".join(result.trace)
+    # the if-convert prefix was replayed on the walk to the flip
+    assert "if-convert" in trace
+
+
+def test_reducer_preserves_masked_lane_kind(compilers):
+    from repro.triage import reduce_program
+    from repro.triage.oracle import PairOracle, compilers_by_name
+
+    outcome = _masked_outcome(compilers)
+    sig = next(s for s in signatures_of(outcome) if s.kind == "masked-lane")
+    reduction = reduce_program(
+        MASKED_TRIGGER, MASKED_INPUTS, sig, compilers, max_tests=200
+    )
+    assert reduction.reduced_nodes <= reduction.original_nodes
+    by_name = compilers_by_name(compilers)
+    oracle = PairOracle(
+        by_name[sig.compiler_a], by_name[sig.compiler_b], sig.level
+    )
+    assert oracle.matches(reduction.reduced_source, MASKED_INPUTS, sig)
