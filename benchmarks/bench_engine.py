@@ -27,6 +27,17 @@ change, not an engine regression — the measured floor is re-derived
 (~2.0x observed on a 1-CPU container; 1.6x leaves headroom for noisy
 runners) and the committed baseline regenerated.
 
+Two tape-executor legs ride along (schema 4): the loops campaign re-run
+under ``exec_mode=tape`` (its result must be bit-identical — part of the
+``identical`` gate), and a batched-execution microbench where every
+distinct (optimized kernel, environment) of the workload runs a batch of
+input sets in both modes.  ``tape_speedup`` is that microbench's ratio
+— the regime the tape compiler targets (ddmin rounds, repeated-input
+batches), where one compile amortizes across the batch.  In a plain
+campaign each kernel runs once, so there the tape roughly breaks even;
+``execute_stage_share`` records how little of campaign wall-clock the
+execute stage is (the Amdahl context for any engine-level expectation).
+
 Run standalone for a report plus machine-readable results::
 
     python benchmarks/bench_engine.py --json BENCH_engine.json
@@ -60,17 +71,36 @@ _SEED = 20250916
 #: cost includes if-convert + unroll + widening at every masking level)
 _LOOPS_BUDGET = 24
 
+#: engine legs pin ``exec_mode="tree"`` so serial/thread/process keep
+#: measuring what they always measured (dedup + scheduling); the tape
+#: executor gets its own legs below, where its costs and gains are
+#: attributable.
 CONFIGS = {
     "serial": EngineConfig(
-        backend="serial", jobs=1, compile_cache=False, share_runs=False
+        backend="serial", jobs=1, compile_cache=False, share_runs=False,
+        exec_mode="tree",
     ),
     "thread": EngineConfig(
-        backend="thread", jobs=4, compile_cache=True, share_runs=True
+        backend="thread", jobs=4, compile_cache=True, share_runs=True,
+        exec_mode="tree",
     ),
     "process": EngineConfig(
-        backend="process", jobs="auto", compile_cache=True, share_runs=True
+        backend="process", jobs="auto", compile_cache=True, share_runs=True,
+        exec_mode="tree",
     ),
 }
+
+#: the thread leg re-run with the tape executor (same workload, same
+#: dedup): what a default campaign actually runs
+TAPE_CONFIG = EngineConfig(
+    backend="thread", jobs=4, compile_cache=True, share_runs=True,
+    exec_mode="tape",
+)
+
+#: input sets per kernel in the batched-execution microbench: the regime
+#: the tape compiler exists for (reduction candidate matrices, repeated
+#: difftest inputs), where one compile serves the whole batch
+_TAPE_BATCH = 8
 
 
 class _Replay:
@@ -137,6 +167,62 @@ def _result_key(result):
     ]
 
 
+def _tape_microbench(programs, batch: int = _TAPE_BATCH) -> dict:
+    """Batched execution, tree vs tape, over the workload's real matrix.
+
+    Every distinct (optimized kernel, environment) of the workload runs
+    ``batch`` input sets through :func:`repro.execution.batch.run_batch`
+    in both modes — the tape leg pays its compilations cold (the
+    per-process cache is cleared first) and amortizes them across the
+    batch, exactly as the engine's run groups and the reducer's ddmin
+    rounds do.  Results are compared bit-for-bit.
+    """
+    from repro.difftest.engine import frontend_kernels
+    from repro.execution.batch import _tape_cache, result_key, run_batch
+    from repro.toolchains.cache import env_fingerprint, kernel_fingerprint
+    from repro.toolchains.optlevels import ALL_LEVELS
+
+    units = {}
+    for program in programs:
+        frontend = frontend_kernels(program.source)
+        for compiler in default_compilers():
+            kernel = frontend.kernels.get(compiler.kind)
+            if kernel is None:
+                continue
+            for level in ALL_LEVELS:
+                binary = compiler.compile_kernel(kernel, level)
+                key = (
+                    kernel_fingerprint(binary.kernel),
+                    env_fingerprint(binary.env),
+                )
+                units.setdefault(
+                    key, (binary.kernel, binary.env, program.inputs)
+                )
+    tasks = [
+        (kernel, env, (inputs,) * batch)
+        for kernel, env, inputs in units.values()
+    ]
+    seconds = {}
+    keys = {}
+    for mode in ("tree", "tape"):
+        _tape_cache.clear()
+        t0 = time.perf_counter()
+        outs = [
+            run_batch(kernel, env, inputs_batch, mode=mode)
+            for kernel, env, inputs_batch in tasks
+        ]
+        seconds[mode] = time.perf_counter() - t0
+        keys[mode] = [[result_key(r) for r in out] for out in outs]
+    return {
+        "units": len(tasks),
+        "batch": batch,
+        "tree_seconds": seconds["tree"],
+        "tape_seconds": seconds["tape"],
+        "speedup": seconds["tree"] / seconds["tape"],
+        "identical": keys["tree"] == keys["tape"],
+    }
+
+
 def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
     programs = _workload(budget)
     keys = {}
@@ -165,20 +251,36 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
         for c in o.comparisons
         if not c.consistent and c.tag
     )
+    # Tape legs: the same loops workload under the default (tape)
+    # executor — campaign identity is part of the determinism gate — and
+    # the batched microbench where one tape compile serves a whole input
+    # batch (the regime the tape executor targets; engine campaigns run
+    # each kernel once, so there it roughly breaks even).
+    loops_tape_result, loops_tape_seconds = _run(loops_programs, TAPE_CONFIG)
+    tape_identical = _result_key(loops_tape_result) == _result_key(loops_result)
+    tape = _tape_microbench(programs + loops_programs)
+    stage_seconds = shared["thread"].stage_seconds
     return {
-        "schema": 3,
+        "schema": 4,
         "budget": budget,
         "cpu_count": os.cpu_count() or 1,
         "configs": configs,
         "thread_speedup": serial_s / configs["thread"]["seconds"],
         "process_speedup": serial_s / configs["process"]["seconds"],
-        "identical": all(keys[n] == keys["serial"] for n in CONFIGS),
+        "identical": (
+            all(keys[n] == keys["serial"] for n in CONFIGS) and tape_identical
+        ),
         "run_share_rate": shared["thread"].run_share_rate,
         "cache_hit_rate": shared["thread"].cache_hit_rate,
-        "stage_seconds": shared["thread"].stage_seconds,
+        "stage_seconds": stage_seconds,
+        "execute_stage_share": stage_seconds["execute"]
+        / max(sum(stage_seconds.values()), 1e-9),
         "loops_budget": loops_budget,
         "loops_throughput": loops_budget / loops_seconds,
+        "loops_tape_throughput": loops_budget / loops_tape_seconds,
         "loops_structural_tags": loops_tags,
+        "tape_speedup": tape["speedup"],
+        "tape_bench": tape,
     }
 
 
@@ -202,7 +304,15 @@ def render(m: dict) -> str:
         + "  ".join(f"{k}={v:.2f}" for k, v in m["stage_seconds"].items()),
         f"  loops workload ({m['loops_budget']} programs, vector+mask tier): "
         f"{m['loops_throughput']:7.1f} programs/s, "
-        f"{m['loops_structural_tags']} structural tags",
+        f"{m['loops_structural_tags']} structural tags "
+        f"(tape executor: {m['loops_tape_throughput']:.1f} programs/s)",
+        f"  execute stage share of thread campaign: "
+        f"{m['execute_stage_share'] * 100:.1f}%",
+        f"  tape batched execution ({m['tape_bench']['units']} kernels x "
+        f"{m['tape_bench']['batch']} inputs): "
+        f"tree {m['tape_bench']['tree_seconds']:.2f}s -> "
+        f"tape {m['tape_bench']['tape_seconds']:.2f}s  "
+        f"({m['tape_speedup']:.2f}x, identical: {m['tape_bench']['identical']})",
     ]
     return "\n".join(lines)
 
@@ -229,6 +339,16 @@ def check(m: dict) -> list[str]:
         failures.append(
             "loops workload produced no structural (vector/masked) tags — "
             "the tier the benchmark exists to cover did not engage"
+        )
+    if not m["tape_bench"]["identical"]:
+        failures.append(
+            "tape executor results differ from the tree interpreter "
+            "(bit-identity broken)"
+        )
+    if m["tape_speedup"] < 2.5:
+        failures.append(
+            f"tape batched-execution speedup {m['tape_speedup']:.2f}x < 2.5x "
+            "over the tree interpreter"
         )
     return failures
 

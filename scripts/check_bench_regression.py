@@ -18,10 +18,16 @@ Gated metrics (all higher-is-better):
   drop below the floor only *warns*; pass ``--strict`` to make it fail
   (sensible when comparing runs from the same machine, e.g. against the
   previous run's artifact).
+* ``tape_speedup`` — batched tape execution vs the tree interpreter
+  over the workload's kernel matrix.  A ratio of two measurements on the
+  same machine, so it transfers; enforced as a hard gate alongside
+  ``thread_speedup``.
 * ``loops_throughput`` — absolute programs/sec of the loops workload
   (the vector + masking tier: if-convert/unroll/widening in the compile
   stage, lane math in the execute stage).  Warn-only for the same
   absolute-wall-clock reason; it tracks the tier's cost as it grows.
+* ``loops_tape_throughput`` — the same loops campaign under the default
+  tape executor; warn-only, absolute.
 
 Usage::
 
@@ -42,9 +48,13 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).parent.parent / "benchmarks" / "BENCH_engine_baseline.json"
 
 #: machine-transferable ratios: always enforced
-HARD_METRICS = ("thread_speedup",)
+HARD_METRICS = ("thread_speedup", "tape_speedup")
 #: absolute wall-clock numbers: warn-only unless --strict
-SOFT_METRICS = ("configs.thread.throughput", "loops_throughput")
+SOFT_METRICS = (
+    "configs.thread.throughput",
+    "loops_throughput",
+    "loops_tape_throughput",
+)
 GATED_METRICS = HARD_METRICS + SOFT_METRICS
 
 

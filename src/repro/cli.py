@@ -11,7 +11,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.difftest.backend import BACKENDS, parse_jobs
+from repro.difftest.backend import BACKENDS, create_backend, parse_jobs
+from repro.execution.batch import EXEC_MODES
 from repro.difftest.config import CampaignConfig
 from repro.difftest.engine import EngineConfig
 from repro.difftest.harness import run_campaign
@@ -81,13 +82,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     generator = make_generator(args.approach, rng)
     config = CampaignConfig(budget=args.budget, seed=args.seed)
     shard_index, shard_count = parse_shard(args.shard)
-    engine_config = EngineConfig(
+    engine_kwargs = dict(
         jobs=args.jobs,
         compile_cache=not args.no_cache,
         backend=args.backend,
         shard_index=shard_index,
         shard_count=shard_count,
     )
+    if args.exec_mode is not None:  # else REPRO_EXEC_MODE / the default
+        engine_kwargs["exec_mode"] = args.exec_mode
+    engine_config = EngineConfig(**engine_kwargs)
     store = CampaignStore(args.resume) if args.resume else None
     progress = None if args.quiet else _StreamProgress(args.budget)
     result = run_campaign(
@@ -105,6 +109,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"approach:             {s['approach']}")
     print(f"programs:             {args.budget}")
     print(f"backend:              {args.backend}")
+    print(f"exec mode:            {engine_config.exec_mode}")
     print(f"jobs:                 {engine_config.resolved_jobs}")
     if shard_count > 1:
         owned = len(range(shard_index, args.budget, shard_count))
@@ -143,6 +148,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "jobs": args.jobs,
         "backend": args.backend,
+        "exec_mode": args.exec_mode,
         "checkpoint_dir": args.checkpoint_dir,
     }
     kwargs = {k: v for k, v in overrides.items() if v is not None}
@@ -222,26 +228,29 @@ def _cmd_triage(args: argparse.Namespace) -> int:
         )
         return 2
     kwargs = dict(reduce=not args.no_reduce, max_reduce_tests=args.max_reduce_tests)
-    if args.checkpoints:
-        results = [(path, load_result(path)) for path in args.checkpoints]
-        report = triage_results(results, **kwargs)
-    else:
-        if args.demo:
-            program, label = distilled_trigger(), "demo"
+    with create_backend(args.backend, args.jobs) as backend:
+        if backend.jobs > 1:
+            kwargs["backend"] = backend
+        if args.checkpoints:
+            results = [(path, load_result(path)) for path in args.checkpoints]
+            report = triage_results(results, **kwargs)
         else:
-            if args.inputs is None:
-                print("--program requires --inputs", file=sys.stderr)
-                return 2
-            with open(args.program, encoding="utf-8") as f:
-                source = f.read()
-            program = GeneratedProgram(source=source, inputs=args.inputs)
-            label = args.program
-        engine = CampaignEngine(default_compilers(), CampaignConfig(budget=1))
-        outcome = engine.test_program(0, program)
-        if not outcome.triggered:
-            print(f"{label}: no inconsistency on the given inputs", file=sys.stderr)
-            return 1
-        report = triage_single(outcome, label=label, **kwargs)
+            if args.demo:
+                program, label = distilled_trigger(), "demo"
+            else:
+                if args.inputs is None:
+                    print("--program requires --inputs", file=sys.stderr)
+                    return 2
+                with open(args.program, encoding="utf-8") as f:
+                    source = f.read()
+                program = GeneratedProgram(source=source, inputs=args.inputs)
+                label = args.program
+            engine = CampaignEngine(default_compilers(), CampaignConfig(budget=1))
+            outcome = engine.test_program(0, program)
+            if not outcome.triggered:
+                print(f"{label}: no inconsistency on the given inputs", file=sys.stderr)
+                return 1
+            report = triage_single(outcome, label=label, **kwargs)
     text = report.render()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:
@@ -287,6 +296,12 @@ def main(argv: list[str] | None = None) -> int:
         "one per CPU; real CPU parallelism needs --backend process)",
     )
     p_run.add_argument(
+        "--exec-mode", choices=EXEC_MODES, default=None, dest="exec_mode",
+        help="execute-stage mode: tape (compiled, default), tree "
+        "(reference interpreter) or check (both, trap on any bit of "
+        "divergence); default: REPRO_EXEC_MODE or tape",
+    )
+    p_run.add_argument(
         "--shard", default=None, metavar="i/n",
         help="test only budget indices with index %% n == i; disjoint "
         "shards merge bit-identically (feedback-free approaches only)",
@@ -327,6 +342,11 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=_jobs_arg, default=None, metavar="N|auto",
         help="workers for the compile+execute matrix, 'auto' = one per "
         "CPU (default: REPRO_JOBS or 1)",
+    )
+    p_tab.add_argument(
+        "--exec-mode", choices=EXEC_MODES, default=None, dest="exec_mode",
+        help="execute-stage mode: tape / tree / check "
+        "(default: REPRO_EXEC_MODE or tape)",
     )
     p_tab.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
@@ -386,6 +406,16 @@ def main(argv: list[str] | None = None) -> int:
     p_triage.add_argument(
         "--no-reduce", action="store_true",
         help="skip delta-debugging reduction (bisect + cluster only)",
+    )
+    p_triage.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="fan-out policy for reduction candidate runs (with --jobs > 1); "
+        "the report is byte-identical across backends",
+    )
+    p_triage.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="workers for reduction candidate runs (default 1 = serial; "
+        "real CPU parallelism needs --backend process)",
     )
     p_triage.add_argument(
         "--max-reduce-tests", type=int, default=DEFAULT_MAX_TESTS, metavar="N",

@@ -31,6 +31,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
+from repro.execution.batch import BatchTask, run_batch_task
 from repro.execution.result import ExecutionResult
 from repro.execution.worker import KernelTask, run_kernel_task
 
@@ -105,6 +106,14 @@ class ExecutionBackend:
         """Execute every (kernel, env, inputs, max_steps) task, in order."""
         return [run_kernel_task(task) for task in tasks]
 
+    def run_batches(
+        self, tasks: Sequence[BatchTask]
+    ) -> list[tuple[ExecutionResult, ...]]:
+        """Execute every batched task (one kernel, many input sets), in
+        order.  Same scheduling policy as :meth:`run_kernels`; one tape
+        compile (or interpreter) per task instead of per input."""
+        return [run_batch_task(task) for task in tasks]
+
 
 class SerialBackend(ExecutionBackend):
     """Everything inline; the reference for determinism and cost."""
@@ -142,6 +151,13 @@ class ThreadBackend(ExecutionBackend):
         if self.jobs == 1 or len(tasks) < 2:
             return [run_kernel_task(task) for task in tasks]
         return list(self._ensure().map(run_kernel_task, tasks))
+
+    def run_batches(
+        self, tasks: Sequence[BatchTask]
+    ) -> list[tuple[ExecutionResult, ...]]:
+        if self.jobs == 1 or len(tasks) < 2:
+            return [run_batch_task(task) for task in tasks]
+        return list(self._ensure().map(run_batch_task, tasks))
 
 
 def _chunksize(n_tasks: int, jobs: int) -> int:
@@ -183,6 +199,18 @@ class ProcessBackend(ExecutionBackend):
         return list(
             pool.map(
                 run_kernel_task, tasks, chunksize=_chunksize(len(tasks), self.jobs)
+            )
+        )
+
+    def run_batches(
+        self, tasks: Sequence[BatchTask]
+    ) -> list[tuple[ExecutionResult, ...]]:
+        if self.jobs == 1 or len(tasks) < 2:
+            return [run_batch_task(task) for task in tasks]
+        pool = self._ensure()
+        return list(
+            pool.map(
+                run_batch_task, tasks, chunksize=_chunksize(len(tasks), self.jobs)
             )
         )
 

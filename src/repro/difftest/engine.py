@@ -60,6 +60,7 @@ dominates campaign wall-clock.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from itertools import combinations
@@ -80,8 +81,8 @@ from repro.difftest.compare import digit_difference
 from repro.difftest.config import CampaignConfig
 from repro.difftest.record import CampaignResult, ComparisonRecord, ProgramOutcome
 from repro.errors import CompileError, ReproError
+from repro.execution.batch import DEFAULT_EXEC_MODE, EXEC_MODES, run_batch_task
 from repro.execution.result import ExecutionResult, _value_hex
-from repro.execution.worker import run_kernel_task
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program
 from repro.generation.program import GeneratedProgram, ProgramGenerator
@@ -130,6 +131,12 @@ class EngineConfig:
         shard_index / shard_count: run only budget indices where
             ``index % shard_count == shard_index``; disjoint shards merge
             to the unsharded result (:func:`repro.difftest.store.merge_shards`).
+        exec_mode: how the execute stage runs kernels — ``"tape"``
+            (compiled register-machine tapes, the default), ``"tree"``
+            (the reference tree-walk interpreter) or ``"check"`` (both,
+            raising :class:`~repro.errors.ExecutionDivergence` on any bit
+            of disagreement).  All three produce byte-identical campaign
+            results; ``REPRO_EXEC_MODE`` overrides the default.
     """
 
     jobs: int | str = 1
@@ -139,9 +146,17 @@ class EngineConfig:
     backend: str = "thread"
     shard_index: int = 0
     shard_count: int = 1
+    exec_mode: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXEC_MODE", DEFAULT_EXEC_MODE)
+    )
 
     def __post_init__(self) -> None:
         resolve_jobs(self.jobs)  # validates int >= 1 or "auto"
+        if self.exec_mode not in EXEC_MODES:
+            raise ValueError(
+                f"exec_mode must be one of {', '.join(EXEC_MODES)}, "
+                f"got {self.exec_mode!r}"
+            )
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
@@ -576,9 +591,11 @@ class CampaignEngine:
         fold-free programs.
 
         Each distinct group becomes one picklable
-        :data:`~repro.execution.worker.KernelTask`; the backend decides
-        whether those run inline, on threads, or across processes, and
-        always returns results in task order.
+        :data:`~repro.execution.batch.BatchTask` carrying the engine's
+        exec mode and the group's content key (seeding the per-process
+        tape cache); the backend decides whether those run inline, on
+        threads, or across processes, and always returns results in task
+        order.
         """
         share = self.engine_config.share_runs
         max_steps = self.config.max_steps
@@ -602,17 +619,21 @@ class CampaignEngine:
         self._total_runs += sum(len(members) for members in ordered)
         self._shared_runs += sum(len(members) - 1 for members in ordered)
 
-        tasks = [
-            (members[0].binary.kernel, members[0].binary.env, inputs, max_steps)
-            for members in ordered
-        ]
+        mode = self.engine_config.exec_mode
+        tasks = []
+        for key, members in groups.items():
+            binary = members[0].binary
+            # Label keys (share_runs off) are not content-addressed; let
+            # the batch layer derive the tape-cache key on demand.
+            cache_key = key if share else None
+            tasks.append((binary.kernel, binary.env, (inputs,), max_steps, mode, cache_key))
         if backend is not None and len(tasks) > 1:
-            results = backend.run_kernels(tasks)
+            batches = backend.run_batches(tasks)
         else:
-            results = [run_kernel_task(task) for task in tasks]
+            batches = [run_batch_task(task) for task in tasks]
 
         executions: dict[str, ExecuteRecord] = {}
-        for members, result in zip(ordered, results):
+        for members, (result,) in zip(ordered, batches):
             for pos, record in enumerate(members):
                 executions[record.label] = ExecuteRecord(
                     label=record.label, result=result, shared=pos > 0

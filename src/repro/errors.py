@@ -45,6 +45,11 @@ class StepLimitExceeded(ExecError):
     """Raised when a program exceeds its interpretation step budget."""
 
 
+class ExecutionDivergence(ExecError):
+    """Raised in ``check`` exec mode when the tape executor and the
+    tree-walk interpreter disagree on any bit of a result."""
+
+
 class GenerationError(ReproError):
     """Raised when a program generator cannot produce a valid candidate."""
 

@@ -46,6 +46,12 @@ def run_kernel(
 
 
 def run_kernel_task(task: KernelTask) -> ExecutionResult:
-    """Unpack one :data:`KernelTask` and run it (pool ``map`` entry point)."""
+    """Unpack one :data:`KernelTask` and run it (pool ``map`` entry point).
+
+    One fresh interpreter per call.  When several input sets hit the same
+    kernel, prefer the batched form (:mod:`repro.execution.batch`): a
+    :class:`~repro.execution.batch.KernelRunner` hoists the per-kernel
+    setup so repeated inputs stop paying it, in every exec mode.
+    """
     kernel, env, inputs, max_steps = task
     return run_kernel(kernel, env, inputs, max_steps)

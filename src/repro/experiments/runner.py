@@ -36,6 +36,7 @@ class ExperimentContext:
             backend=s.backend,
             shard_index=shard_index,
             shard_count=shard_count,
+            exec_mode=s.exec_mode,
         )
 
     def store(self, approach: str) -> CampaignStore | None:

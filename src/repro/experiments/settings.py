@@ -6,6 +6,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.difftest.backend import BACKENDS, parse_jobs, resolve_jobs
+from repro.execution.batch import DEFAULT_EXEC_MODE, EXEC_MODES
 from repro.toolchains.optlevels import ALL_LEVELS, OptLevel
 
 __all__ = ["ExperimentSettings", "parse_shard"]
@@ -82,6 +83,10 @@ class ExperimentSettings:
     backend: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "thread")
     )
+    #: execute-stage mode: tree / tape / check (``REPRO_EXEC_MODE``)
+    exec_mode: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXEC_MODE", DEFAULT_EXEC_MODE)
+    )
     #: content-addressed compile cache (``REPRO_CACHE=0`` disables)
     compile_cache: bool = field(
         default_factory=lambda: _env_int("REPRO_CACHE", 1) != 0
@@ -107,6 +112,11 @@ class ExperimentSettings:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.exec_mode not in EXEC_MODES:
+            raise ValueError(
+                f"exec_mode must be one of {', '.join(EXEC_MODES)}, "
+                f"got {self.exec_mode!r}"
             )
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import hashlib
 import math
+import operator
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +31,76 @@ __all__ = ["FPEnvironment"]
 
 _F32_MIN_NORMAL = float(np.finfo(np.float32).tiny)
 _F64_MIN_NORMAL = float(np.finfo(np.float64).tiny)
+
+# -- specialized scalar kernels (the tape executor's fast paths) ---------------
+#
+# The generic ``_binary`` path costs ~2µs per operation: an ``np.errstate``
+# context manager plus numpy-scalar boxing per call.  Interpretation is
+# pure FP arithmetic, so the tape compiler binds one of the closures below
+# per (op, type, environment) *site* instead.  They are bit-identical to
+# the numpy path — including NaN sign/payload propagation, which rides the
+# same hardware double ops either way — pinned by the differential hammer
+# in ``tests/fp/test_env_impl.py``.
+
+_PACK_F32 = struct.Struct("<f").pack
+_UNPACK_F32 = struct.Struct("<f").unpack
+_INF = math.inf
+#: x86's default quiet NaN (sign bit set) — what the hardware, and hence
+#: numpy, produces for 0/0.
+_NEG_QNAN = struct.unpack("<d", b"\x00\x00\x00\x00\x00\x00\xf8\xff")[0]
+
+
+def _round_f32(x: float) -> float:
+    """Round a double to binary32 and back (round-to-nearest-even).
+
+    Bit-identical to ``float(np.float32(x))``: NaN quietness and sign
+    survive the pack/unpack, and overflow rounds to same-signed infinity.
+    Double-rounding is exact for +,-,*,/ of binary32 operands evaluated
+    in binary64 (Figueroa: 53 >= 2*24 + 2).
+    """
+    try:
+        return _UNPACK_F32(_PACK_F32(x))[0]
+    except OverflowError:
+        return math.copysign(_INF, x)
+
+
+def _div_double(a: float, b: float) -> float:
+    """IEEE binary64 division with numpy's (hardware) zero-divisor cases."""
+    if b == 0.0:
+        if a != a:
+            # NaN propagates sign and payload, but the hardware quiets a
+            # signaling NaN; + 0.0 applies the same quieting.
+            return a + 0.0
+        if a == 0.0:
+            return _NEG_QNAN
+        sign = (a > 0.0) == (math.copysign(1.0, b) > 0.0)
+        return _INF if sign else -_INF
+    return a / b
+
+
+def _flush32(x: float) -> float:
+    """FTZ at binary32: subnormals to same-signed zero (NaN/inf untouched)."""
+    if -_F32_MIN_NORMAL < x < _F32_MIN_NORMAL and x != 0.0:
+        return math.copysign(0.0, x)
+    return x
+
+
+def _flush64(x: float) -> float:
+    if -_F64_MIN_NORMAL < x < _F64_MIN_NORMAL and x != 0.0:
+        return math.copysign(0.0, x)
+    return x
+
+
+def _identity(x: float) -> float:
+    return x
+
+
+_PY_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _div_double,
+}
 
 
 def _approx_perturb(salt: bytes, op: str, operands: tuple[float, ...], ref: float,
@@ -146,6 +218,118 @@ class FPEnvironment:
             ref = self.libm.call("sqrt", args, fmt)
             return self._flush(_approx_perturb(self._salt, "sqrt", args, ref, 2, 0.5), ty)
         return self._flush(self.libm.call(fn, args, fmt), ty)
+
+    # -- specialized implementations ---------------------------------------------
+    #
+    # The tape compiler calls these once per operation *site* and binds the
+    # returned plain-Python callable into a closure, avoiding the per-call
+    # numpy/errstate overhead of the generic methods above.  Each impl is
+    # bit-identical to the corresponding method (including NaN sign and
+    # payload, signed zeros, subnormal flushing order, and the approximate
+    # div/sqrt perturbation, which sees the *original* unflushed operands
+    # exactly as ``div``/``call`` do).
+
+    def _flush_impl(self, ty: str):
+        if not self.ftz:
+            return _identity
+        return _flush32 if ty == "float" else _flush64
+
+    def op_impl(self, op: str, ty: str):
+        """A ``f(a, b)`` bit-identical to ``add/sub/mul/div(a, b, ty)``.
+
+        The float path rounds both operands to binary32, evaluates the
+        hardware double op, and rounds once more — exact by Figueroa's
+        double-rounding theorem (binary64 is wide enough that the double
+        rounding of +,-,*,/ over binary32 operands never differs from a
+        single rounding).
+        """
+        base = _PY_OPS[op]
+        if ty == "float":
+            if self.ftz:
+                def core(a: float, b: float, _op=base) -> float:
+                    return _flush32(
+                        _round_f32(_op(_round_f32(_flush32(a)), _round_f32(_flush32(b))))
+                    )
+            else:
+                def core(a: float, b: float, _op=base) -> float:
+                    return _round_f32(_op(_round_f32(a), _round_f32(b)))
+        elif self.ftz:
+            def core(a: float, b: float, _op=base) -> float:
+                return _flush64(_op(_flush64(a), _flush64(b)))
+        else:
+            core = base
+        if op == "/" and self.approx_div:
+            salt, flush = self._salt, self._flush_impl(ty)
+
+            def approx(a: float, b: float, _core=core) -> float:
+                r = _core(a, b)
+                return flush(_approx_perturb(salt, "div", (a, b), r, 2, 0.5))
+
+            return approx
+        return core
+
+    def neg_impl(self, ty: str):
+        """A ``f(a)`` bit-identical to ``neg(a, ty)`` (no f32 rounding)."""
+        if not self.ftz:
+            return operator.neg
+        flush = self._flush_impl(ty)
+
+        def impl(a: float) -> float:
+            return flush(-flush(a))
+
+        return impl
+
+    def fma_impl(self, ty: str):
+        """A ``f(a, b, c)`` bit-identical to ``fma(a, b, c, ty)``."""
+        fmt = FP32 if ty == "float" else FP64
+        if not self.ftz:
+            def impl(a: float, b: float, c: float) -> float:
+                return _fma_exact(a, b, c, fmt)
+        else:
+            flush = self._flush_impl(ty)
+
+            def impl(a: float, b: float, c: float) -> float:
+                return flush(_fma_exact(flush(a), flush(b), flush(c), fmt))
+
+        return impl
+
+    def call_impl(self, fn: str, ty: str):
+        """A ``f(args)`` bit-identical to ``call(fn, args, ty)``."""
+        fmt = FP32 if ty == "float" else FP64
+        libm_call = self.libm.call
+        flush = self._flush_impl(ty)
+        if fn == "sqrt" and self.approx_sqrt:
+            salt = self._salt
+
+            def impl(args: tuple) -> float:
+                args = tuple(flush(a) for a in args)
+                ref = libm_call("sqrt", args, fmt)
+                return flush(_approx_perturb(salt, "sqrt", args, ref, 2, 0.5))
+
+        elif not self.ftz:
+            def impl(args: tuple) -> float:
+                return libm_call(fn, args, fmt)
+
+        else:
+            def impl(args: tuple) -> float:
+                return flush(libm_call(fn, tuple(flush(a) for a in args), fmt))
+
+        return impl
+
+    def canon_impl(self, ty: str):
+        """A ``f(x)`` bit-identical to ``canon(x, ty)``."""
+        flush = self._flush_impl(ty)
+        if ty != "float":
+            return flush
+
+        def impl(x: float) -> float:
+            # Same nan/inf guard as ``canon``: a NaN's full payload
+            # survives (struct rounding would truncate the low bits).
+            if x == x and x != _INF and x != -_INF:
+                x = _round_f32(x)
+            return flush(x)
+
+        return impl
 
     def describe(self) -> str:
         bits = [self.precision.value, f"libm={self.libm.name}"]

@@ -130,6 +130,8 @@ def _triage_one(
     max_steps: int,
     max_reduce_tests: int,
     bisect_cache: dict,
+    backend=None,
+    exec_mode: str = "tree",
 ) -> TriageEntry:
     sigs = signatures_of(outcome)
     canonical = canonical_signature(outcome)
@@ -176,6 +178,8 @@ def _triage_one(
             compilers,
             max_steps=max_steps,
             max_tests=max_reduce_tests,
+            backend=backend,
+            exec_mode=exec_mode,
         )
     return TriageEntry(
         source_label=source_label,
@@ -197,9 +201,16 @@ def triage_outcomes(
     reduce: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_reduce_tests: int = DEFAULT_MAX_TESTS,
+    backend=None,
+    exec_mode: str = "tree",
     _bisect_cache: dict | None = None,
 ) -> list[TriageEntry]:
-    """Triage every triggering outcome (non-triggering ones are skipped)."""
+    """Triage every triggering outcome (non-triggering ones are skipped).
+
+    ``backend`` / ``exec_mode`` fan each reduction's ddmin rounds out via
+    :func:`~repro.triage.reduce.reduce_program`; the report is
+    byte-identical with or without them.
+    """
     compilers = compilers if compilers is not None else default_compilers()
     cache = _bisect_cache if _bisect_cache is not None else {}
     entries = []
@@ -215,6 +226,8 @@ def triage_outcomes(
                 max_steps,
                 max_reduce_tests,
                 cache,
+                backend,
+                exec_mode,
             )
         )
     return entries
@@ -315,6 +328,8 @@ def triage_results(
     reduce: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_reduce_tests: int = DEFAULT_MAX_TESTS,
+    backend=None,
+    exec_mode: str = "tree",
 ) -> TriageReport:
     """Triage several labelled campaign results into one ranked report.
 
@@ -336,6 +351,8 @@ def triage_results(
                 reduce=reduce,
                 max_steps=max_steps,
                 max_reduce_tests=max_reduce_tests,
+                backend=backend,
+                exec_mode=exec_mode,
                 _bisect_cache=cache,
             )
         )
@@ -354,6 +371,8 @@ def triage_single(
     reduce: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_reduce_tests: int = DEFAULT_MAX_TESTS,
+    backend=None,
+    exec_mode: str = "tree",
 ) -> TriageReport:
     """Triage one already-tested outcome into a one-campaign report.
 
@@ -368,6 +387,8 @@ def triage_single(
         reduce=reduce,
         max_steps=max_steps,
         max_reduce_tests=max_reduce_tests,
+        backend=backend,
+        exec_mode=exec_mode,
     )
     return TriageReport(
         clusters=cluster_entries(entries),
@@ -383,6 +404,8 @@ def triage_campaign(
     reduce: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_reduce_tests: int = DEFAULT_MAX_TESTS,
+    backend=None,
+    exec_mode: str = "tree",
 ) -> TriageReport:
     """Triage one campaign result into a ranked report."""
     return triage_results(
@@ -391,4 +414,6 @@ def triage_campaign(
         reduce=reduce,
         max_steps=max_steps,
         max_reduce_tests=max_reduce_tests,
+        backend=backend,
+        exec_mode=exec_mode,
     )

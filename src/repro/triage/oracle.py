@@ -24,6 +24,7 @@ from repro.difftest.classify import (
 )
 from repro.difftest.engine import _differing_values, _BinaryRun, frontend_kernels
 from repro.errors import CompileError
+from repro.execution.batch import run_batch_task
 from repro.execution.limits import DEFAULT_MAX_STEPS
 from repro.toolchains.base import Compiler
 from repro.toolchains.cache import env_fingerprint
@@ -71,26 +72,24 @@ class PairOracle:
         #: predicate evaluations performed (reduction cost accounting)
         self.evaluations = 0
 
-    def observe(self, source: str, inputs: tuple) -> PairObservation:
-        """Front-end, compile and run ``source`` on both sides of the cell."""
-        self.evaluations += 1
+    def _compile_pair(self, source: str) -> list | None:
+        """Front-end + compile ``source`` on both sides; None on failure."""
         frontend = frontend_kernels(source)
-        runs = []
         binaries = []
         for compiler in (self.compiler_a, self.compiler_b):
             kernel = frontend.kernels.get(compiler.kind)
             if kernel is None:
-                return PairObservation(ok=False)
+                return None
             try:
-                binary = compiler.compile_kernel(kernel, self.level)
+                binaries.append(compiler.compile_kernel(kernel, self.level))
             except CompileError:
-                return PairObservation(ok=False)
-            result = binary.run(inputs, self.max_steps)
-            if not result.ok:
-                return PairObservation(ok=False)
-            runs.append(result)
-            binaries.append(binary)
-        ra, rb = runs
+                return None
+        return binaries
+
+    def _verdict(self, binaries: list, ra, rb) -> PairObservation:
+        """Classify one candidate from its two execution results."""
+        if not (ra.ok and rb.ok):
+            return PairObservation(ok=False)
         steps = max(ra.steps, rb.steps)
         sig_a, sig_b = ra.signature(), rb.signature()
         if sig_a == sig_b:
@@ -126,6 +125,53 @@ class PairOracle:
             ok=True, consistent=False, kind=kind, signature_a=sig_a,
             signature_b=sig_b, steps=steps,
         )
+
+    def observe(self, source: str, inputs: tuple) -> PairObservation:
+        """Front-end, compile and run ``source`` on both sides of the cell."""
+        self.evaluations += 1
+        binaries = self._compile_pair(source)
+        if binaries is None:
+            return PairObservation(ok=False)
+        ra, rb = (b.run(inputs, self.max_steps) for b in binaries)
+        return self._verdict(binaries, ra, rb)
+
+    def observe_batch(
+        self,
+        sources: list[str],
+        inputs: tuple,
+        backend=None,
+        exec_mode: str = "tree",
+    ) -> list[PairObservation]:
+        """Observe many candidates at once, fanning the executions out.
+
+        Compilation stays in the calling process (the compilers' pipeline
+        caches live there); the 2x len(``sources``) kernel runs ship to
+        ``backend`` (an :class:`~repro.difftest.backend.ExecutionBackend`)
+        as batched tasks under ``exec_mode``.  Verdicts are returned in
+        source order and are bit-identical to looping :meth:`observe` —
+        runs are pure, so only the schedule differs.
+        """
+        self.evaluations += len(sources)
+        compiled = [self._compile_pair(source) for source in sources]
+        tasks = [
+            (b.kernel, b.env, (inputs,), self.max_steps, exec_mode, None)
+            for binaries in compiled
+            if binaries is not None
+            for b in binaries
+        ]
+        if backend is not None and len(tasks) > 1:
+            batches = backend.run_batches(tasks)
+        else:
+            batches = [run_batch_task(task) for task in tasks]
+        results = iter(batches)
+        observations = []
+        for binaries in compiled:
+            if binaries is None:
+                observations.append(PairObservation(ok=False))
+                continue
+            (ra,), (rb,) = next(results), next(results)
+            observations.append(self._verdict(binaries, ra, rb))
+        return observations
 
     def matches(self, source: str, inputs: tuple, target: InconsistencySignature) -> bool:
         """The interesting-predicate: the candidate still exhibits the same

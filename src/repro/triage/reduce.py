@@ -73,10 +73,19 @@ class _Budget:
 
 
 class _Reducer:
-    def __init__(self, oracle: PairOracle, inputs: tuple, budget: _Budget) -> None:
+    def __init__(
+        self,
+        oracle: PairOracle,
+        inputs: tuple,
+        budget: _Budget,
+        backend=None,
+        exec_mode: str = "tree",
+    ) -> None:
         self.oracle = oracle
         self.inputs = inputs
         self.budget = budget
+        self.backend = backend
+        self.exec_mode = exec_mode
         self.accepted = 0
 
     # -- the predicate -----------------------------------------------------------
@@ -99,6 +108,52 @@ class _Reducer:
         if self.interesting(candidate, target):
             self.accepted += 1
             return candidate
+        return None
+
+    def _first_accepted(self, unit, candidate_units, target):
+        """First strictly-smaller candidate that is still interesting.
+
+        Returns ``(index, candidate)`` or None.  With a backend, the whole
+        budget-capped window of candidates is evaluated at once through
+        :meth:`PairOracle.observe_batch`, but the budget is charged
+        exactly as the serial scan would charge it — up to and including
+        the first match — so the reduction (accepted edits, tests spent,
+        final program) is byte-identical to the backend-free path.
+        """
+        limit_nodes = ast.node_count(unit)
+        viable = [
+            (i, cand)
+            for i, cand in enumerate(candidate_units)
+            if ast.node_count(cand) < limit_nodes  # uncharged, as in _try
+        ]
+        remaining = max(self.budget.limit - self.budget.spent, 0)
+        window = viable[:remaining]
+        if self.backend is not None and len(window) >= 2:
+            sources: list[str | None] = []
+            for _, cand in window:
+                try:
+                    sources.append(print_c(cand))
+                except (ReproError, TypeError, KeyError):
+                    sources.append(None)  # charged but uninteresting
+            observed = iter(
+                self.oracle.observe_batch(
+                    [s for s in sources if s is not None],
+                    self.inputs,
+                    self.backend,
+                    self.exec_mode,
+                )
+            )
+            for (i, cand), source in zip(window, sources):
+                self.budget.take()
+                obs = None if source is None else next(observed)
+                if obs is not None and obs.inconsistent and obs.kind == target.kind:
+                    self.accepted += 1
+                    return i, cand
+            return None
+        for i, cand in viable:
+            accepted = self._try(unit, cand, target)
+            if accepted is not None:
+                return i, accepted
         return None
 
     # -- statement ddmin ---------------------------------------------------------
@@ -128,23 +183,27 @@ class _Reducer:
             chunk = max(1, len(stmts) // n)
             starts = range(0, len(stmts), chunk)
             subsets = [stmts[s : s + chunk] for s in starts]
-            reduced = False
-            # Try each subset alone, then each complement, in order.
-            candidates = subsets + [
-                stmts[: s] + stmts[s + chunk :] for s in starts
+            # Try each subset alone, then each complement, in order; the
+            # same-size skip is uncharged, as ever.
+            cand_lists = [
+                cand_stmts
+                for cand_stmts in subsets
+                + [stmts[:s] + stmts[s + chunk :] for s in starts]
+                if len(cand_stmts) < len(stmts)
             ]
-            for cand_stmts in candidates:
-                if len(cand_stmts) >= len(stmts):
-                    continue
-                candidate = ast.replace_at(unit, path, ast.Block(tuple(cand_stmts)))
-                accepted = self._try(unit, candidate, target)
-                if accepted is not None:
-                    unit = accepted
-                    stmts = tuple(cand_stmts)
-                    n = max(n - 1, 2)
-                    reduced = True
-                    break
-            if not reduced:
+            found = self._first_accepted(
+                unit,
+                [
+                    ast.replace_at(unit, path, ast.Block(tuple(cand_stmts)))
+                    for cand_stmts in cand_lists
+                ],
+                target,
+            )
+            if found is not None:
+                i, unit = found
+                stmts = tuple(cand_lists[i])
+                n = max(n - 1, 2)
+            else:
                 if n >= len(stmts):
                     break
                 n = min(len(stmts), 2 * n)
@@ -254,6 +313,8 @@ def reduce_program(
     compilers: list[Compiler],
     max_steps: int | None = None,
     max_tests: int = DEFAULT_MAX_TESTS,
+    backend=None,
+    exec_mode: str = "tree",
 ) -> ReductionResult:
     """Shrink ``source`` while it keeps exhibiting ``target``.
 
@@ -262,6 +323,12 @@ def reduce_program(
     program found so far is returned (still a valid trigger — every
     intermediate step is).  Deterministic: the same arguments always
     produce the same reduced program.
+
+    ``backend`` (an :class:`~repro.difftest.backend.ExecutionBackend`)
+    fans each ddmin round's candidate executions out concurrently;
+    ``exec_mode`` picks the executor (``tree`` by default — reduction
+    kernels mostly run once, so tape compilation rarely amortizes).
+    Both knobs change only the schedule, never the result.
     """
     by_name = compilers_by_name(compilers)
     try:
@@ -284,7 +351,7 @@ def reduce_program(
         step_cap = min(step_cap, max_steps)
     oracle = PairOracle(ca, cb, target.level, max_steps=step_cap)
     budget = _Budget(max_tests)
-    reducer = _Reducer(oracle, inputs, budget)
+    reducer = _Reducer(oracle, inputs, budget, backend=backend, exec_mode=exec_mode)
 
     try:
         unit = parse_program(source)

@@ -1,7 +1,5 @@
 """If-conversion: select-form rewrites, refusals, and masked widening."""
 
-import pytest
-
 from repro.execution.result import ExecStatus
 from repro.execution.worker import run_kernel
 from repro.fp.env import FPEnvironment

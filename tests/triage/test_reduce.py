@@ -158,3 +158,62 @@ def test_ast_node_count_matches_walk():
     assert ast.node_count(unit) == len(list(ast.walk_paths(unit)))
     fn = unit.function("compute")
     assert ast.node_count(fn) < ast.node_count(unit)
+
+
+class TestBackendParity:
+    """Fanning ddmin rounds through an ExecutionBackend changes only the
+    schedule: reduced source, accepted edits and tests spent stay
+    byte-identical, in every exec mode."""
+
+    def test_thread_backend_matches_serial(self, compilers, distilled_target):
+        from repro.difftest.backend import create_backend
+
+        program, target = distilled_target
+        serial = reduce_program(
+            PADDED, program.inputs, target, compilers
+        )
+        with create_backend("thread", 4) as backend:
+            fanned = reduce_program(
+                PADDED, program.inputs, target, compilers, backend=backend
+            )
+        assert fanned.reduced_source == serial.reduced_source
+        assert fanned.tests == serial.tests
+        assert fanned.accepted_edits == serial.accepted_edits
+
+    @pytest.mark.parametrize("exec_mode", ["tape", "check"])
+    def test_exec_modes_match_tree(self, compilers, distilled_target, exec_mode):
+        from repro.difftest.backend import create_backend
+
+        program, target = distilled_target
+        serial = reduce_program(program.source, program.inputs, target, compilers)
+        with create_backend("thread", 2) as backend:
+            other = reduce_program(
+                program.source,
+                program.inputs,
+                target,
+                compilers,
+                backend=backend,
+                exec_mode=exec_mode,
+            )
+        assert other.reduced_source == serial.reduced_source
+        assert other.tests == serial.tests
+
+    def test_budget_charging_matches_serial(self, compilers, distilled_target):
+        from repro.difftest.backend import create_backend
+
+        program, target = distilled_target
+        for budget in (1, 5, 17, 60):
+            serial = reduce_program(
+                PADDED, program.inputs, target, compilers, max_tests=budget
+            )
+            with create_backend("thread", 4) as backend:
+                fanned = reduce_program(
+                    PADDED,
+                    program.inputs,
+                    target,
+                    compilers,
+                    max_tests=budget,
+                    backend=backend,
+                )
+            assert fanned.tests == serial.tests <= budget
+            assert fanned.reduced_source == serial.reduced_source
