@@ -9,9 +9,14 @@ docs honest two ways:
   build on earlier ones);
 * every relative markdown link/image target must resolve to an existing
   file (external ``http(s)``/``mailto`` links and pure ``#`` anchors are
-  skipped — CI must not depend on the network).
+  skipped — CI must not depend on the network);
+* every ``llm4fp`` subcommand registered in ``src/repro/cli.py`` and
+  every ``REPRO_*`` environment knob referenced anywhere under ``src/``
+  must be mentioned somewhere in the documentation — a new subcommand or
+  knob that ships undocumented fails the job (the coverage sweep runs
+  only on unfiltered invocations).
 
-Any doctest failure or dangling link fails the job.
+Any doctest failure, dangling link or coverage gap fails the job.
 
     python scripts/check_docs.py            # all docs
     python scripts/check_docs.py vector     # substring filter on file names
@@ -30,6 +35,11 @@ DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 #: [text](target) and ![alt](target), ignoring images' titles
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: subcommand registrations in the CLI module
+_SUBCOMMAND = re.compile(r"add_parser\(\s*\n?\s*\"([a-z][a-z-]*)\"")
+#: environment knobs anywhere in the package source (no trailing
+#: underscore: prose like ``REPRO_FLEET_*`` is a family, not a knob)
+_ENV_KNOB = re.compile(r"\bREPRO_[A-Z]+(?:_[A-Z]+)*\b")
 
 
 def doctest_blocks(path: Path) -> tuple[int, int]:
@@ -63,6 +73,38 @@ def check_links(path: Path) -> list[str]:
     return problems
 
 
+def coverage_problems() -> list[str]:
+    """CLI subcommands and ``REPRO_*`` knobs the docs fail to mention.
+
+    Mention-level coverage, deliberately grep-based: ``llm4fp <name>``
+    must appear verbatim in some doc page for every registered
+    subcommand, and every environment knob the source reads must appear
+    by name.  ``docs/configuration.md`` is the natural home for knobs;
+    anywhere in the docs (README included) counts.
+    """
+    docs_text = "\n".join(
+        path.read_text(encoding="utf-8") for path in DOC_FILES if path.exists()
+    )
+    problems = []
+    cli_source = (REPO / "src" / "repro" / "cli.py").read_text(encoding="utf-8")
+    for name in sorted(set(_SUBCOMMAND.findall(cli_source))):
+        if f"llm4fp {name}" not in docs_text:
+            problems.append(
+                f"undocumented CLI subcommand: `llm4fp {name}` appears in "
+                "no doc page (add it to README.md or docs/)"
+            )
+    knobs: set[str] = set()
+    for path in sorted((REPO / "src").rglob("*.py")):
+        knobs.update(_ENV_KNOB.findall(path.read_text(encoding="utf-8")))
+    for knob in sorted(knobs):
+        if knob not in docs_text:
+            problems.append(
+                f"undocumented environment knob: {knob} appears in no doc "
+                "page (docs/configuration.md is its reference table)"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     needle = args[0] if args else ""
@@ -84,7 +126,8 @@ def main(argv: list[str] | None = None) -> int:
         link_problems.extend(check_links(path))
         status = "ok" if not failed else f"{failed} FAILED"
         print(f"{path.relative_to(REPO)}: {attempted} doctest example(s), {status}")
-    for problem in link_problems:
+    coverage = coverage_problems() if not needle else []
+    for problem in (*link_problems, *coverage):
         print(problem, file=sys.stderr)
     if not checked:
         print(f"no doc file matches {needle!r}", file=sys.stderr)
@@ -92,7 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     if not total and not needle:
         print("no doctest examples found — docs missing?", file=sys.stderr)
         return 2
-    return 1 if failures or link_problems else 0
+    return 1 if failures or link_problems or coverage else 0
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """The ``llm4fp`` command-line interface.
 
     llm4fp run --approach llm4fp --budget 100 --seed 1
+    llm4fp serve --shards 4 --workers 2 --approach loops --budget 1000
     llm4fp tables table2 table5
     llm4fp triage campaign.jsonl
     llm4fp show-prompt grammar
@@ -14,7 +15,7 @@ import sys
 from repro.difftest.backend import BACKENDS, create_backend, parse_jobs
 from repro.execution.batch import EXEC_MODES
 from repro.difftest.config import CampaignConfig
-from repro.difftest.engine import EngineConfig
+from repro.difftest.engine import EngineConfig, JsonLineProgress
 from repro.difftest.harness import run_campaign
 from repro.difftest.record import ProgramOutcome
 from repro.difftest.report import CampaignReport
@@ -93,7 +94,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine_kwargs["exec_mode"] = args.exec_mode
     engine_config = EngineConfig(**engine_kwargs)
     store = CampaignStore(args.resume) if args.resume else None
-    progress = None if args.quiet else _StreamProgress(args.budget)
+    progress: object | None
+    if args.progress_json:
+        progress = JsonLineProgress(args.budget)
+    elif args.quiet:
+        progress = None
+    else:
+        progress = _StreamProgress(args.budget)
     result = run_campaign(
         generator,
         default_compilers(),
@@ -193,6 +200,62 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     print(f"triggering programs:  {s['triggering_programs']}")
     _print_kinds(report)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Supervise a sharded campaign fleet (or drain a queue of them)."""
+    import asyncio
+
+    from repro.fleet.queue import drain_queue
+    from repro.fleet.supervisor import (
+        CampaignSpec,
+        FleetConfig,
+        FleetSupervisor,
+        format_fleet_summary,
+    )
+
+    settings = ExperimentSettings()
+    config = FleetConfig(
+        workers=args.workers if args.workers is not None else settings.fleet_workers,
+        heartbeat=(
+            args.heartbeat if args.heartbeat is not None else settings.fleet_heartbeat
+        ),
+        stall_timeout=(
+            args.stall_timeout
+            if args.stall_timeout is not None
+            else settings.fleet_stall_timeout
+        ),
+        max_retries=(
+            args.max_retries
+            if args.max_retries is not None
+            else settings.fleet_max_retries
+        ),
+        chaos_kill_after=args.chaos_kill_after,
+    )
+    if args.queue is not None:
+        results = asyncio.run(
+            drain_queue(
+                args.queue, args.dir, config=config, chain_triage=args.triage
+            )
+        )
+    else:
+        spec = CampaignSpec(
+            approach=args.approach,
+            budget=args.budget,
+            seed=args.seed,
+            backend=args.backend,
+            jobs=None if args.jobs is None else str(args.jobs),
+            exec_mode=args.exec_mode,
+            compile_cache=not args.no_cache,
+        )
+        supervisor = FleetSupervisor(
+            spec, args.shards, args.dir, config=config, chain_triage=args.triage
+        )
+        results = [asyncio.run(supervisor.run())]
+    for result in results:
+        print(format_fleet_summary(result))
+        print()
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _parse_inputs(spec: str) -> tuple:
@@ -319,6 +382,12 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true",
         help="suppress the streaming per-program progress line",
     )
+    p_run.add_argument(
+        "--progress-json", action="store_true", dest="progress_json",
+        help="emit machine-readable progress to stderr: one JSON line per "
+        "completed program (what fleet worker logs record); overrides "
+        "--quiet",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_tab = sub.add_parser("tables", help="regenerate paper tables/figures")
@@ -372,6 +441,85 @@ def main(argv: list[str] | None = None) -> int:
         help="one completed checkpoint file per shard (all n of them)",
     )
     p_merge.set_defaults(func=_cmd_merge)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="supervise a sharded campaign fleet (launch/heal/merge)",
+        description="Campaign fleet supervisor: launches one `llm4fp run "
+        "--shard i/n --resume` worker per shard (at most --workers "
+        "concurrently), heartbeats each on its checkpoint's tail growth, "
+        "kills and reassigns dead or stalled shards with bounded retries, "
+        "then splices the shard checkpoints into a merged store "
+        "byte-identical to an unkilled single-process run.  Every "
+        "scheduling decision lands in DIR/fleet_events.jsonl.  With "
+        "--queue, drains a JSONL job file instead, one campaign per line "
+        "(see docs/fleet.md).  Exits 0 only if every campaign merged.",
+    )
+    p_serve.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="fleet working directory: shard checkpoints, worker logs, "
+        "fleet_events.jsonl and merged.jsonl accumulate here",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="shard count the budget splits into (default 4)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="concurrent shard workers (default: REPRO_FLEET_WORKERS or 2)",
+    )
+    p_serve.add_argument("--approach", choices=ALL_APPROACHES, default="loops",
+                         help="feedback-free approach to run (default loops)")
+    p_serve.add_argument("--budget", type=int, default=100)
+    p_serve.add_argument("--seed", type=int, default=20250916)
+    p_serve.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="worker engine backend (default: each worker's own default)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N|auto",
+        help="per-worker matrix jobs (default: each worker's own default)",
+    )
+    p_serve.add_argument(
+        "--exec-mode", choices=EXEC_MODES, default=None, dest="exec_mode",
+        help="worker execute-stage mode (default: each worker's own default)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the compile cache in every worker",
+    )
+    p_serve.add_argument(
+        "--queue", default=None, metavar="JOBS.jsonl",
+        help="drain a JSONL job queue instead of running one campaign; "
+        "each line is {\"approach\": ..., \"budget\": ..., \"shards\": ...}",
+    )
+    p_serve.add_argument(
+        "--triage", action="store_true",
+        help="chain `llm4fp triage` over each merged store",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="checkpoint-tail poll interval "
+        "(default: REPRO_FLEET_HEARTBEAT or 2.0)",
+    )
+    p_serve.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        dest="stall_timeout",
+        help="no-row-growth threshold before a live worker is killed and "
+        "its shard reassigned (default: REPRO_FLEET_STALL or 300)",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=None, metavar="N", dest="max_retries",
+        help="respawns per shard after its first death before the fleet "
+        "settles for a partial verdict (default: REPRO_FLEET_RETRIES or 2)",
+    )
+    p_serve.add_argument(
+        "--chaos-kill-after", type=int, default=None, metavar="ROWS",
+        dest="chaos_kill_after",
+        help="fault-injection drill: SIGKILL the first worker whose shard "
+        "reaches ROWS checkpoint rows, then watch the fleet repair it",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_triage = sub.add_parser(
         "triage",

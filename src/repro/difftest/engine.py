@@ -60,7 +60,9 @@ dominates campaign wall-clock.
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from itertools import combinations
@@ -100,12 +102,68 @@ __all__ = [
     "CompileRecord",
     "ExecuteRecord",
     "CampaignEngine",
+    "JsonLineProgress",
     "STAGES",
     "frontend_kernels",
 ]
 
 #: Stage names in pipeline order (the report's time buckets).
 STAGES = ("generate", "frontend", "compile", "execute", "compare")
+
+
+class JsonLineProgress:
+    """Machine-readable campaign progress: one JSON line per program.
+
+    A drop-in for the ``progress`` callback of :meth:`CampaignEngine.run`
+    that emits ``{"event": "program", "index": ..., "done": ...,
+    "budget": ..., "triggered": ..., "inconsistencies": ...}`` per
+    completed program (and a final ``campaign-done`` line from
+    :meth:`finish`), flushed immediately so a supervising process can
+    consume the stream live.  ``llm4fp run --progress-json`` wires this
+    to stderr; the fleet supervisor primarily heartbeats on checkpoint
+    tail growth (which survives worker death), with these lines as the
+    finer-grained, human-greppable view in per-worker logs.
+
+    ``done`` counts programs this process completed, which under
+    ``--shard i/n`` differs from ``index`` (shards skip unowned indices).
+    """
+
+    def __init__(self, budget: int, stream=None) -> None:
+        self.budget = budget
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.triggered = 0
+        self.inconsistencies = 0
+
+    def _emit(self, record: dict) -> None:
+        self.stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.stream.flush()
+
+    def __call__(self, index: int, outcome: ProgramOutcome) -> None:
+        self.done += 1
+        self.triggered += bool(outcome.triggered)
+        self.inconsistencies += len(outcome.inconsistent_comparisons)
+        self._emit(
+            {
+                "event": "program",
+                "index": index,
+                "done": self.done,
+                "budget": self.budget,
+                "triggered": bool(outcome.triggered),
+                "inconsistencies": self.inconsistencies,
+            }
+        )
+
+    def finish(self) -> None:
+        self._emit(
+            {
+                "event": "campaign-done",
+                "done": self.done,
+                "budget": self.budget,
+                "triggering_programs": self.triggered,
+                "inconsistencies": self.inconsistencies,
+            }
+        )
 
 
 @dataclass(frozen=True)

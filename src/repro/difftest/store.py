@@ -42,6 +42,8 @@ __all__ = [
     "load_result",
     "load_triggers",
     "merge_shards",
+    "merge_shard_stores",
+    "tail_outcomes",
     "encode_outcome",
     "decode_outcome",
 ]
@@ -348,6 +350,49 @@ def load_triggers(path: str | os.PathLike) -> list[ProgramOutcome]:
     return load_result(path).triggering_outcomes
 
 
+# -- incremental progress reads ---------------------------------------------------
+
+
+def tail_outcomes(
+    path: str | os.PathLike, offset: int = 0
+) -> tuple[list[int], int]:
+    """Budget indices of complete outcome records appended since ``offset``.
+
+    The fleet supervisor's heartbeat: a worker's only obligation is to
+    keep appending fsync'd records to its checkpoint, so *row growth at
+    the file's tail* is liveness.  This reads from byte ``offset``
+    (0 = start of file), decodes only the complete trailing records —
+    never re-reading the prefix a previous call already consumed — and
+    returns ``(new_indices, new_offset)`` where ``new_offset`` is the
+    position after the last complete line.  A partial final line (a
+    record being appended right now, or a crash tail) is left for the
+    next call.  A file that does not exist yet reads as ``([], 0)``:
+    a freshly assigned worker simply has not created its store yet.
+
+    Non-outcome records (the header) are consumed but not reported.
+    """
+    p = Path(path)
+    try:
+        with p.open("rb") as f:
+            f.seek(offset)
+            data = f.read()
+    except FileNotFoundError:
+        return [], 0
+    indices: list[int] = []
+    good = offset
+    for raw in data.splitlines(keepends=True):
+        if not raw.endswith(b"\n"):
+            break  # partial final line: mid-append or crash tail
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break
+        good += len(raw)
+        if isinstance(record, dict) and record.get("kind") == "outcome":
+            indices.append(record["index"])
+    return indices, good
+
+
 # -- shard merging ---------------------------------------------------------------
 
 
@@ -411,3 +456,117 @@ def merge_shards(results: list[CampaignResult]) -> CampaignResult:
         shard_count=1,
     )
     return merged
+
+
+def merge_shard_stores(
+    paths: list[str | os.PathLike], out_path: str | os.PathLike
+) -> Path:
+    """Splice shard checkpoint *files* into one merged checkpoint file.
+
+    Where :func:`merge_shards` merges in-memory results, this merges at
+    the byte level: each shard's record lines are kept verbatim (never
+    re-encoded) and written to ``out_path`` in budget-index order under a
+    header whose shard is rewritten to ``0/1``.  Because every shard
+    replays the identical program stream and the engine's encoding is
+    deterministic, the merged file is **byte-identical to the checkpoint
+    an unsharded ``run --resume`` would have written** — the property the
+    fleet supervisor's kill/reassign contract is audited against.
+
+    Validates the same invariants as :func:`merge_shards`: one campaign
+    identity, a common shard count, no duplicate or missing shards, and
+    exact coverage of the budget.  Raises :class:`CampaignStoreError` on
+    any violation (the merged file is not written).
+    """
+    if not paths:
+        raise CampaignStoreError("merge_shard_stores needs at least one shard file")
+    headers: list[dict] = []
+    rows: dict[int, bytes] = {}
+    for path in paths:
+        data = Path(path).read_bytes()
+        header: dict | None = None
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # crash tail: the complete prefix is what resume trusts
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                break
+            if header is None:
+                if record.get("kind") != "campaign":
+                    raise CampaignStoreError(f"{path} is not a campaign checkpoint")
+                if record.get("version") not in _READABLE_VERSIONS:
+                    raise CampaignStoreError(
+                        f"{path}: unsupported checkpoint version "
+                        f"{record.get('version')!r}"
+                    )
+                header = record
+                continue
+            if record.get("kind") != "outcome":
+                raise CampaignStoreError(
+                    f"unexpected record kind {record.get('kind')!r} in {path}"
+                )
+            index = record["index"]
+            if index in rows:
+                raise CampaignStoreError(
+                    f"duplicate outcome for budget index {index} "
+                    f"(shards overlap or a file was passed twice)"
+                )
+            rows[index] = raw
+        if header is None:
+            raise CampaignStoreError(f"{path} is not a campaign checkpoint")
+        headers.append(header)
+
+    def identity(h: dict) -> tuple:
+        return tuple(
+            (k, json.dumps(v, sort_keys=True))
+            for k, v in sorted(h.items())
+            if k not in ("shard_index", "shard_count")
+        )
+
+    first = headers[0]
+    count = first.get("shard_count")
+    seen: set[int] = set()
+    for h in headers:
+        if identity(h) != identity(first):
+            raise CampaignStoreError(
+                "shard checkpoints describe different campaigns:\n"
+                f"  {first}\n  {h}"
+            )
+        if h.get("shard_count") != count:
+            raise CampaignStoreError(
+                f"mixed shard counts: {h.get('shard_count')} vs {count}"
+            )
+        if h.get("shard_index") in seen:
+            raise CampaignStoreError(
+                f"duplicate shard {h.get('shard_index')}/{count}"
+            )
+        seen.add(h.get("shard_index"))
+    if seen != set(range(count)):
+        missing = sorted(set(range(count)) - seen)
+        raise CampaignStoreError(
+            f"incomplete shard set: missing {missing} of /{count}"
+        )
+    budget = first["budget"]
+    if sorted(rows) != list(range(budget)):
+        raise CampaignStoreError(
+            "merged shards do not cover the budget exactly "
+            f"({len(rows)} outcomes for budget {budget})"
+        )
+    # The merged header is shard 0's header with the shard rewritten —
+    # same key order as the writer, so the bytes match an unsharded run.
+    merged_header = dict(first)
+    merged_header["shard_index"] = 0
+    merged_header["shard_count"] = 1
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_name(out.name + ".tmp")
+    with tmp.open("wb") as f:
+        f.write(
+            json.dumps(merged_header, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        for index in range(budget):
+            f.write(rows[index])
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, out)
+    return out

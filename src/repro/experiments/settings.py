@@ -9,7 +9,7 @@ from repro.difftest.backend import BACKENDS, parse_jobs, resolve_jobs
 from repro.execution.batch import DEFAULT_EXEC_MODE, EXEC_MODES
 from repro.toolchains.optlevels import ALL_LEVELS, OptLevel
 
-__all__ = ["ExperimentSettings", "parse_shard"]
+__all__ = ["ExperimentSettings", "ENV_KNOBS", "parse_shard"]
 
 
 def _env_int(name: str, default: int) -> int:
@@ -20,6 +20,16 @@ def _env_int(name: str, default: int) -> int:
         return int(raw)
     except ValueError as e:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from e
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as e:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from e
 
 
 def _env_jobs(name: str, default: int | str) -> int | str:
@@ -104,6 +114,27 @@ class ExperimentSettings:
     checkpoint_dir: str | None = field(
         default_factory=lambda: os.environ.get("REPRO_CHECKPOINT_DIR") or None
     )
+    #: ``llm4fp serve``: concurrent shard workers (``REPRO_FLEET_WORKERS``)
+    fleet_workers: int = field(
+        default_factory=lambda: _env_int("REPRO_FLEET_WORKERS", 2)
+    )
+    #: ``llm4fp serve``: seconds between checkpoint-tail heartbeat polls
+    #: (``REPRO_FLEET_HEARTBEAT``)
+    fleet_heartbeat: float = field(
+        default_factory=lambda: _env_float("REPRO_FLEET_HEARTBEAT", 2.0)
+    )
+    #: ``llm4fp serve``: seconds of no checkpoint row growth before a
+    #: live worker is declared stalled, killed and reassigned
+    #: (``REPRO_FLEET_STALL``)
+    fleet_stall_timeout: float = field(
+        default_factory=lambda: _env_float("REPRO_FLEET_STALL", 300.0)
+    )
+    #: ``llm4fp serve``: respawns granted to a shard after its first
+    #: death before the fleet settles for a partial verdict
+    #: (``REPRO_FLEET_RETRIES``)
+    fleet_max_retries: int = field(
+        default_factory=lambda: _env_int("REPRO_FLEET_RETRIES", 2)
+    )
 
     def __post_init__(self) -> None:
         if self.budget <= 0:
@@ -121,3 +152,35 @@ class ExperimentSettings:
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
         parse_shard(self.shard)  # validates "i/n"
+        if self.fleet_workers < 1:
+            raise ValueError("fleet_workers must be >= 1")
+        if self.fleet_heartbeat <= 0:
+            raise ValueError("fleet_heartbeat must be positive")
+        if self.fleet_stall_timeout <= 0:
+            raise ValueError("fleet_stall_timeout must be positive")
+        if self.fleet_max_retries < 0:
+            raise ValueError("fleet_max_retries must be >= 0")
+
+
+#: Every environment-overridable :class:`ExperimentSettings` field and its
+#: ``REPRO_*`` knob — the single source of truth ``docs/configuration.md``
+#: is doctested against and ``scripts/check_docs.py`` greps the docs for.
+#: ``levels`` is the one field with no environment knob (the optimization
+#: matrix is part of the experiment's identity, not its deployment).
+ENV_KNOBS: dict[str, str] = {
+    "budget": "REPRO_BUDGET",
+    "seed": "REPRO_SEED",
+    "model_llm_latency": "REPRO_MODEL_LATENCY",
+    "codebleu_pairs": "REPRO_CODEBLEU_PAIRS",
+    "jobs": "REPRO_JOBS",
+    "backend": "REPRO_BACKEND",
+    "exec_mode": "REPRO_EXEC_MODE",
+    "compile_cache": "REPRO_CACHE",
+    "cache_capacity": "REPRO_CACHE_CAPACITY",
+    "shard": "REPRO_SHARD",
+    "checkpoint_dir": "REPRO_CHECKPOINT_DIR",
+    "fleet_workers": "REPRO_FLEET_WORKERS",
+    "fleet_heartbeat": "REPRO_FLEET_HEARTBEAT",
+    "fleet_stall_timeout": "REPRO_FLEET_STALL",
+    "fleet_max_retries": "REPRO_FLEET_RETRIES",
+}

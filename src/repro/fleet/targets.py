@@ -1,0 +1,111 @@
+"""Where fleet workers run: the :class:`WorkerTarget` abstraction.
+
+The supervisor schedules *shards*, not processes — all it needs from a
+worker's home is "launch this ``llm4fp`` invocation and give me a handle
+I can await, poll and kill".  :class:`LocalProcessTarget` satisfies that
+with asyncio subprocesses on the supervisor's own machine; an ssh or
+container target implements the same two-method surface (launch a remote
+command, proxy wait/kill) and slots in without touching the scheduler —
+the heartbeat already works remotely because it reads the shard's
+*checkpoint file*, the one artefact a worker must produce wherever it
+runs (a shared filesystem or a sync job brings it home).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["WorkerHandle", "WorkerTarget", "LocalProcessTarget", "worker_python"]
+
+
+def worker_python() -> str:
+    """The interpreter worker processes run under (the supervisor's own)."""
+    return sys.executable
+
+
+class WorkerHandle(ABC):
+    """One launched worker: awaitable exit, killable from the outside."""
+
+    @abstractmethod
+    async def wait(self) -> int:
+        """Block until the worker exits; returns its exit code."""
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Hard-kill the worker (SIGKILL); idempotent after exit."""
+
+    @property
+    @abstractmethod
+    def pid(self) -> int | None:
+        """An identifier for logs (a local PID, a remote job id, ...)."""
+
+
+class WorkerTarget(ABC):
+    """A place that can run ``llm4fp`` worker invocations."""
+
+    @abstractmethod
+    async def launch(
+        self, argv: Sequence[str], log_path: Path | None = None
+    ) -> WorkerHandle:
+        """Start ``argv`` on the target; stream its output to ``log_path``.
+
+        ``argv`` is a complete command line (interpreter included).  The
+        per-attempt ``log_path`` captures the worker's stdout+stderr for
+        post-mortems; ``None`` discards output.
+        """
+
+
+class _LocalHandle(WorkerHandle):
+    def __init__(self, process: asyncio.subprocess.Process, log_file) -> None:
+        self._process = process
+        self._log_file = log_file
+
+    async def wait(self) -> int:
+        code = await self._process.wait()
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+        return code
+
+    def kill(self) -> None:
+        try:
+            self._process.kill()
+        except ProcessLookupError:
+            pass  # already exited
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+
+class LocalProcessTarget(WorkerTarget):
+    """Workers as subprocesses of the supervisor, one per shard slot.
+
+    The default (and the test substrate): `llm4fp serve` on an N-core
+    machine with ``--backend process`` workers saturates the machine the
+    same way N hand-launched terminals would, minus the hands.
+    """
+
+    async def launch(
+        self, argv: Sequence[str], log_path: Path | None = None
+    ) -> WorkerHandle:
+        if log_path is not None:
+            log_path.parent.mkdir(parents=True, exist_ok=True)
+            log_file = log_path.open("ab")
+            stdout = stderr = log_file
+        else:
+            log_file = None
+            stdout = stderr = asyncio.subprocess.DEVNULL
+        process = await asyncio.create_subprocess_exec(
+            *argv,
+            stdout=stdout,
+            stderr=stderr,
+            stdin=asyncio.subprocess.DEVNULL,
+            env=os.environ.copy(),
+        )
+        return _LocalHandle(process, log_file)

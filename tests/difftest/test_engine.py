@@ -488,3 +488,47 @@ class TestDifferingValueGuard:
         va, vb = _differing_values(ra, rb)
         assert (va, vb) == (1.0, 2.0)
         assert _diffing_digits(va, vb) > 0
+
+
+class TestJsonLineProgress:
+    """The machine-readable progress stream fleet worker logs record."""
+
+    def test_one_json_line_per_program_plus_summary(self):
+        import io
+        import json
+
+        from repro.difftest.engine import JsonLineProgress
+
+        stream = io.StringIO()
+        progress = JsonLineProgress(budget=4, stream=stream)
+        result = CampaignEngine(
+            [GccCompiler(), NvccCompiler()], CampaignConfig(budget=4)
+        ).run(make_generator("varity", SplittableRng(5)), progress=progress)
+        progress.finish()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        programs = [e for e in lines if e["event"] == "program"]
+        assert [e["index"] for e in programs] == [0, 1, 2, 3]
+        assert [e["done"] for e in programs] == [1, 2, 3, 4]
+        assert all(e["budget"] == 4 for e in programs)
+        done = lines[-1]
+        assert done["event"] == "campaign-done" and done["done"] == 4
+        assert done["triggering_programs"] == sum(
+            bool(o.triggered) for o in result.outcomes
+        )
+
+    def test_sharded_done_counts_owned_programs_only(self):
+        import io
+        import json
+
+        from repro.difftest.engine import JsonLineProgress
+
+        stream = io.StringIO()
+        progress = JsonLineProgress(budget=6, stream=stream)
+        CampaignEngine(
+            [GccCompiler(), NvccCompiler()],
+            CampaignConfig(budget=6),
+            EngineConfig(shard_index=1, shard_count=2),
+        ).run(make_generator("varity", SplittableRng(5)), progress=progress)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [e["index"] for e in lines] == [1, 3, 5]
+        assert [e["done"] for e in lines] == [1, 2, 3]

@@ -15,7 +15,9 @@ from repro.difftest.store import (
     decode_outcome,
     encode_outcome,
     load_result,
+    merge_shard_stores,
     merge_shards,
+    tail_outcomes,
 )
 from repro.experiments.approaches import make_generator
 from repro.fp.bits import double_to_bits
@@ -303,6 +305,118 @@ class TestLoadResult:
         path.write_text("not a checkpoint\n")
         with pytest.raises(CampaignStoreError, match="not a campaign checkpoint"):
             load_result(path)
+
+
+class TestTailOutcomes:
+    """Incremental progress reads — the fleet supervisor's heartbeat."""
+
+    def test_tail_reads_are_incremental(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        _engine(4).run(_generator(), store=CampaignStore(path))
+        indices, offset = tail_outcomes(path)
+        assert indices == [0, 1, 2, 3]
+        assert offset == path.stat().st_size
+        # nothing new since: an empty read from the same offset
+        again, offset2 = tail_outcomes(path, offset)
+        assert again == [] and offset2 == offset
+
+    def test_new_rows_appear_after_the_offset(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        engine = _engine(2)
+        result = engine.run(_generator(), store=CampaignStore(path))
+        _, offset = tail_outcomes(path)
+        # another process appends one more record
+        extra = encode_outcome(result.outcomes[0])
+        extra["index"] = 2
+        with path.open("a") as f:
+            f.write(json.dumps(extra, separators=(",", ":")) + "\n")
+        indices, _ = tail_outcomes(path, offset)
+        assert indices == [2]
+
+    def test_partial_final_line_left_for_next_call(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        _engine(2).run(_generator(), store=CampaignStore(path))
+        _, complete = tail_outcomes(path)
+        with path.open("ab") as f:
+            f.write(b'{"kind":"outcome","index":2')  # mid-append
+        indices, offset = tail_outcomes(path)
+        assert indices == [0, 1]
+        assert offset == complete  # the torn tail was not consumed
+
+    def test_missing_file_reads_as_no_progress(self, tmp_path):
+        assert tail_outcomes(tmp_path / "nope.jsonl") == ([], 0)
+
+    def test_header_is_consumed_but_not_reported(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        CampaignStore(path).open({"approach": "x", "budget": 1})
+        indices, offset = tail_outcomes(path)
+        assert indices == []
+        assert offset == path.stat().st_size
+
+
+class TestMergeShardStores:
+    """Byte-level shard splicing — the fleet's merged-store contract."""
+
+    def _shard_files(self, tmp_path, budget=6, count=2):
+        paths = []
+        for i in range(count):
+            path = tmp_path / f"shard{i}.jsonl"
+            _engine(
+                budget, EngineConfig(shard_index=i, shard_count=count)
+            ).run(_generator(), store=CampaignStore(path))
+            paths.append(path)
+        return paths
+
+    def test_merged_file_byte_identical_to_unsharded_checkpoint(self, tmp_path):
+        budget = 6
+        golden = tmp_path / "golden.jsonl"
+        _engine(budget).run(_generator(), store=CampaignStore(golden))
+        paths = self._shard_files(tmp_path, budget=budget)
+        out = merge_shard_stores(paths, tmp_path / "merged.jsonl")
+        assert out.read_bytes() == golden.read_bytes()
+
+    def test_merged_file_loads_as_an_unsharded_result(self, tmp_path):
+        paths = self._shard_files(tmp_path)
+        out = merge_shard_stores(paths, tmp_path / "merged.jsonl")
+        result = load_result(out)
+        assert (result.shard_index, result.shard_count) == (0, 1)
+        assert [o.index for o in result.outcomes] == list(range(6))
+
+    def test_missing_shard_rejected(self, tmp_path):
+        paths = self._shard_files(tmp_path)
+        with pytest.raises(CampaignStoreError, match="missing"):
+            merge_shard_stores(paths[:1], tmp_path / "merged.jsonl")
+
+    def test_duplicate_coverage_rejected(self, tmp_path):
+        paths = self._shard_files(tmp_path)
+        with pytest.raises(CampaignStoreError, match="duplicate outcome"):
+            merge_shard_stores(
+                [paths[0], paths[0], paths[1]], tmp_path / "merged.jsonl"
+            )
+
+    def test_foreign_campaign_rejected(self, tmp_path):
+        paths = self._shard_files(tmp_path)
+        other = tmp_path / "other0.jsonl"
+        CampaignEngine(
+            default_compilers(),
+            CampaignConfig(budget=6, seed=999),
+            EngineConfig(shard_index=0, shard_count=2),
+        ).run(_generator(seed=999), store=CampaignStore(other))
+        with pytest.raises(CampaignStoreError, match="different campaigns"):
+            merge_shard_stores([other, paths[1]], tmp_path / "merged.jsonl")
+
+    def test_non_checkpoint_input_rejected(self, tmp_path):
+        junk = tmp_path / "junk.txt"
+        junk.write_text("hello\n")
+        with pytest.raises(CampaignStoreError, match="not a campaign checkpoint"):
+            merge_shard_stores([junk], tmp_path / "merged.jsonl")
+
+    def test_failed_merge_writes_nothing(self, tmp_path):
+        paths = self._shard_files(tmp_path)
+        out = tmp_path / "merged.jsonl"
+        with pytest.raises(CampaignStoreError):
+            merge_shard_stores(paths[:1], out)
+        assert not out.exists()
 
     def test_cli_merge_command(self, tmp_path, capsys):
         from repro.cli import main

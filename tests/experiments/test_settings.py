@@ -1,0 +1,64 @@
+"""ExperimentSettings environment knobs and the ENV_KNOBS registry.
+
+``ENV_KNOBS`` is the single source of truth that ``docs/configuration.md``
+doctests against and ``scripts/check_docs.py`` greps the docs for — a
+settings field added without registering its knob fails here first.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.settings import ENV_KNOBS, ExperimentSettings
+
+
+class TestEnvKnobsRegistry:
+    def test_every_field_is_registered_except_levels(self):
+        fields = {f.name for f in dataclasses.fields(ExperimentSettings)}
+        assert fields - set(ENV_KNOBS) == {"levels"}, (
+            "new ExperimentSettings field without an ENV_KNOBS entry "
+            "(register it and document it in docs/configuration.md)"
+        )
+        assert set(ENV_KNOBS) <= fields, "ENV_KNOBS names a missing field"
+
+    def test_knob_names_follow_the_repro_prefix(self):
+        assert all(env.startswith("REPRO_") for env in ENV_KNOBS.values())
+        assert len(set(ENV_KNOBS.values())) == len(ENV_KNOBS)  # no aliases
+
+
+class TestFleetKnobs:
+    def test_defaults(self):
+        s = ExperimentSettings()
+        assert s.fleet_workers == 2
+        assert s.fleet_heartbeat == 2.0
+        assert s.fleet_stall_timeout == 300.0
+        assert s.fleet_max_retries == 2
+
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_WORKERS", "8")
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "0.5")
+        monkeypatch.setenv("REPRO_FLEET_STALL", "45")
+        monkeypatch.setenv("REPRO_FLEET_RETRIES", "0")
+        s = ExperimentSettings()
+        assert s.fleet_workers == 8
+        assert s.fleet_heartbeat == 0.5
+        assert s.fleet_stall_timeout == 45.0
+        assert s.fleet_max_retries == 0
+
+    def test_malformed_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT", "fast")
+        with pytest.raises(ValueError, match="REPRO_FLEET_HEARTBEAT"):
+            ExperimentSettings()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(fleet_workers=0),
+            dict(fleet_heartbeat=0),
+            dict(fleet_stall_timeout=-1),
+            dict(fleet_max_retries=-1),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentSettings(**kwargs)

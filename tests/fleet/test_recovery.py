@@ -1,0 +1,163 @@
+"""Worker-death recovery: the fleet's headline fault-tolerance contract.
+
+Killing any worker mid-campaign — or watching one wedge and go silent —
+must still yield a merged store **byte-identical** to an unkilled
+single-process run, with the death and reassignment on the record in
+``fleet_events.jsonl``.
+"""
+
+import random
+import sys
+
+import pytest
+
+from repro.fleet.events import read_events
+from repro.fleet.supervisor import CampaignSpec, FleetConfig, run_fleet
+from repro.fleet.targets import LocalProcessTarget, WorkerTarget
+
+from test_supervisor import BUDGET, SEED, fast_config, golden  # noqa: F401
+
+OWNED_MIN = BUDGET // 4  # smallest shard of a 4-way split
+
+
+class ScriptedTarget(WorkerTarget):
+    """Substitutes a scripted command for chosen (shard, attempt) launches.
+
+    Exercises the :class:`WorkerTarget` plug point the way an ssh or
+    container target would use it: the supervisor never learns that some
+    launches went somewhere strange — it just watches checkpoints.
+    """
+
+    def __init__(self, script):
+        # script: {(shard, attempt): argv_override}
+        self._real = LocalProcessTarget()
+        self._script = dict(script)
+        self._attempts: dict[int, int] = {}
+        self.launches: list[tuple[int, int]] = []
+
+    async def launch(self, argv, log_path=None):
+        shard = int(argv[argv.index("--shard") + 1].split("/")[0])
+        attempt = self._attempts.get(shard, 0) + 1
+        self._attempts[shard] = attempt
+        self.launches.append((shard, attempt))
+        override = self._script.get((shard, attempt))
+        return await self._real.launch(override or argv, log_path)
+
+
+SLEEPER = [sys.executable, "-c", "import time; time.sleep(60)"]
+INSTANT_DEATH = [sys.executable, "-c", "raise SystemExit(3)"]
+
+
+class TestKilledWorker:
+    def test_sigkill_mid_run_heals_byte_identically(self, tmp_path, golden):
+        # the acceptance drill: 4 shards, 2 workers, one worker SIGKILLed
+        # at a randomized row count strictly inside its shard's work
+        kill_after = random.Random().randint(1, OWNED_MIN - 2)
+        result = run_fleet(
+            CampaignSpec(approach="loops", budget=BUDGET, seed=SEED),
+            shard_count=4,
+            workdir=tmp_path / "fleet",
+            config=fast_config(chaos_kill_after=kill_after),
+        )
+        assert result.ok, f"fleet did not recover (kill_after={kill_after})"
+        assert result.deaths == 1
+        assert result.merged_path.read_bytes() == golden
+
+        events = read_events(result.events_path)
+        kinds = [e["event"] for e in events]
+        assert "chaos-kill" in kinds
+        deaths = [e for e in events if e["event"] == "death"]
+        assert len(deaths) == 1
+        assert deaths[0]["exit_code"] == -9  # SIGKILL, as promised
+        assert deaths[0]["rows"] < deaths[0]["owned"]
+        reassigns = [e for e in events if e["event"] == "reassign"]
+        assert len(reassigns) == 1
+        assert reassigns[0]["shard"] == deaths[0]["shard"]
+        assert reassigns[0]["resuming_rows"] == deaths[0]["rows"]
+        # the healed shard took exactly two attempts
+        healed = [s for s in result.shards if s.index == deaths[0]["shard"]]
+        assert healed[0].attempts == 2 and healed[0].status == "done"
+
+    def test_dead_on_arrival_worker_is_retried(self, tmp_path):
+        # attempt 1 exits immediately without writing a row; attempt 2 is
+        # the real worker and completes the shard
+        target = ScriptedTarget({(0, 1): INSTANT_DEATH})
+        result = run_fleet(
+            CampaignSpec(approach="loops", budget=6, seed=4),
+            shard_count=2,
+            workdir=tmp_path / "fleet",
+            config=fast_config(),
+            target=target,
+        )
+        assert result.ok
+        events = read_events(result.events_path)
+        deaths = [e for e in events if e["event"] == "death"]
+        assert deaths and deaths[0]["exit_code"] == 3
+        assert (0, 2) in target.launches
+
+
+class TestStalledWorker:
+    def test_stalled_heartbeat_triggers_kill_and_reassign(self, tmp_path):
+        # attempt 1 is alive but writes no checkpoint rows: liveness is
+        # judged from the artefact, so the supervisor must kill it
+        target = ScriptedTarget({(0, 1): SLEEPER})
+        result = run_fleet(
+            CampaignSpec(approach="loops", budget=6, seed=4),
+            shard_count=2,
+            workdir=tmp_path / "fleet",
+            config=fast_config(stall_timeout=1.5),
+            target=target,
+        )
+        assert result.ok
+        events = read_events(result.events_path)
+        stalls = [e for e in events if e["event"] == "stall"]
+        assert len(stalls) == 1
+        assert stalls[0]["shard"] == 0 and stalls[0]["rows"] == 0
+        assert stalls[0]["exit_code"] is None
+        kinds = [e["event"] for e in events]
+        assert "reassign" in kinds
+        assert all(s.status == "done" for s in result.shards)
+
+
+class TestRetryExhaustion:
+    def test_partial_verdict_instead_of_a_hang(self, tmp_path):
+        # shard 1's worker dies on every attempt; the fleet must settle,
+        # not hang, and must not fabricate a merged store
+        target = ScriptedTarget({(1, k): INSTANT_DEATH for k in range(1, 10)})
+        result = run_fleet(
+            CampaignSpec(approach="loops", budget=6, seed=4),
+            shard_count=2,
+            workdir=tmp_path / "fleet",
+            config=fast_config(max_retries=1),
+            target=target,
+        )
+        assert not result.ok and result.status == "partial"
+        assert result.merged_path is None
+        failed = [s for s in result.shards if s.status == "failed"]
+        assert [s.index for s in failed] == [1]
+        assert failed[0].attempts == 2  # initial + max_retries
+        events = read_events(result.events_path)
+        kinds = [e["event"] for e in events]
+        assert "shard-failed" in kinds
+        assert "merge" not in kinds
+        done = events[-1]
+        assert done["event"] == "fleet-done"
+        assert done["status"] == "partial" and done["failed_shards"] == [1]
+        # the healthy shard still finished its work
+        assert [s.status for s in result.shards if s.index == 0] == ["done"]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(workers=0),
+            dict(heartbeat=0),
+            dict(stall_timeout=0),
+            dict(max_retries=-1),
+            dict(backoff=-0.1),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetConfig(**kwargs)
