@@ -27,6 +27,14 @@ change, not an engine regression — the measured floor is re-derived
 (~2.0x observed on a 1-CPU container; 1.6x leaves headroom for noisy
 runners) and the committed baseline regenerated.
 
+An island-model leg (schema 5) tracks the cost of fitness-guided
+feedback generation: the llm4fp approach run as an in-process island
+campaign (``islands=4``), whose generate stage adds the novelty census,
+SUS strategy selection and merge-point migrant exchange on top of plain
+mutation.  ``island_throughput`` is warn-only in the regression gate
+(absolute wall-clock); the serial/thread bit-identity of the island
+campaign *is* asserted — the island model's determinism contract.
+
 Two tape-executor legs ride along (schema 4): the loops campaign re-run
 under ``exec_mode=tape`` (its result must be bit-identical — part of the
 ``identical`` gate), and a batched-execution microbench where every
@@ -97,6 +105,16 @@ TAPE_CONFIG = EngineConfig(
     exec_mode="tape",
 )
 
+#: island leg: the feedback approach as an in-process island campaign
+#: (generation itself partitioned; merge points exchange migrants)
+_ISLAND_BUDGET = 24
+_ISLANDS = 4
+_ISLAND_MERGE_EVERY = 3
+ISLAND_CONFIG = EngineConfig(
+    backend="thread", jobs=4, compile_cache=True, share_runs=True,
+    islands=_ISLANDS, merge_every=_ISLAND_MERGE_EVERY, exec_mode="tree",
+)
+
 #: input sets per kernel in the batched-execution microbench: the regime
 #: the tape compiler exists for (reduction candidate matrices, repeated
 #: difftest inputs), where one compile serves the whole batch
@@ -143,6 +161,20 @@ def _run(programs, engine_config):
     result = engine.run(_Replay(programs))
     seconds = time.perf_counter() - t0
     return result, seconds
+
+
+def _run_island(engine_config, budget: int = _ISLAND_BUDGET):
+    """One island campaign with a *fresh* feedback generator (islands
+    partition generation, so the replay trick does not apply)."""
+    engine = CampaignEngine(
+        default_compilers(),
+        CampaignConfig(budget=budget, seed=_SEED),
+        engine_config,
+    )
+    generator = make_generator("llm4fp", SplittableRng(_SEED, "bench-islands"))
+    t0 = time.perf_counter()
+    result = engine.run(generator)
+    return result, time.perf_counter() - t0
 
 
 def _hex(v):
@@ -259,9 +291,21 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
     loops_tape_result, loops_tape_seconds = _run(loops_programs, TAPE_CONFIG)
     tape_identical = _result_key(loops_tape_result) == _result_key(loops_result)
     tape = _tape_microbench(programs + loops_programs)
+    # Island leg: feedback generation partitioned into islands.  The
+    # serial re-run is the determinism witness (same bytes, only
+    # wall-clock may differ); throughput is tracked warn-only.
+    from dataclasses import replace as _replace
+
+    island_result, island_seconds = _run_island(ISLAND_CONFIG)
+    island_serial_result, _ = _run_island(
+        _replace(ISLAND_CONFIG, backend="serial", jobs=1)
+    )
+    island_identical = (
+        _result_key(island_result) == _result_key(island_serial_result)
+    )
     stage_seconds = shared["thread"].stage_seconds
     return {
-        "schema": 4,
+        "schema": 5,
         "budget": budget,
         "cpu_count": os.cpu_count() or 1,
         "configs": configs,
@@ -281,6 +325,14 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
         "loops_structural_tags": loops_tags,
         "tape_speedup": tape["speedup"],
         "tape_bench": tape,
+        "island_budget": _ISLAND_BUDGET,
+        "islands": _ISLANDS,
+        "island_merge_every": _ISLAND_MERGE_EVERY,
+        "island_throughput": _ISLAND_BUDGET / island_seconds,
+        "island_identical": island_identical,
+        "island_triggers": sum(
+            1 for o in island_result.outcomes if o.triggered
+        ),
     }
 
 
@@ -308,6 +360,11 @@ def render(m: dict) -> str:
         f"(tape executor: {m['loops_tape_throughput']:.1f} programs/s)",
         f"  execute stage share of thread campaign: "
         f"{m['execute_stage_share'] * 100:.1f}%",
+        f"  island campaign ({m['island_budget']} programs, "
+        f"{m['islands']} islands, merge every {m['island_merge_every']}): "
+        f"{m['island_throughput']:7.1f} programs/s, "
+        f"{m['island_triggers']} triggers "
+        f"(serial/thread identical: {m['island_identical']})",
         f"  tape batched execution ({m['tape_bench']['units']} kernels x "
         f"{m['tape_bench']['batch']} inputs): "
         f"tree {m['tape_bench']['tree_seconds']:.2f}s -> "
@@ -339,6 +396,11 @@ def check(m: dict) -> list[str]:
         failures.append(
             "loops workload produced no structural (vector/masked) tags — "
             "the tier the benchmark exists to cover did not engage"
+        )
+    if not m["island_identical"]:
+        failures.append(
+            "island campaign differs between serial and thread backends "
+            "(island determinism contract broken)"
         )
     if not m["tape_bench"]["identical"]:
         failures.append(

@@ -28,6 +28,11 @@ Gated metrics (all higher-is-better):
   absolute-wall-clock reason; it tracks the tier's cost as it grows.
 * ``loops_tape_throughput`` — the same loops campaign under the default
   tape executor; warn-only, absolute.
+* ``island_throughput`` — absolute programs/sec of the llm4fp island
+  campaign (fitness census + SUS strategy selection + merge-point
+  migrant exchange in the generate stage); warn-only, absolute.  The
+  island determinism contract itself is asserted inside the benchmark,
+  not gated here.
 
 Usage::
 
@@ -54,6 +59,7 @@ SOFT_METRICS = (
     "configs.thread.throughput",
     "loops_throughput",
     "loops_tape_throughput",
+    "island_throughput",
 )
 GATED_METRICS = HARD_METRICS + SOFT_METRICS
 

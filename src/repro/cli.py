@@ -79,16 +79,59 @@ def _jobs_arg(value: str) -> int | str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.generation.islands import derive_peer_paths
+    from repro.generation.program import generator_capabilities
+
     rng = SplittableRng(args.seed, f"cli-{args.approach}")
     generator = make_generator(args.approach, rng)
     config = CampaignConfig(budget=args.budget, seed=args.seed)
     shard_index, shard_count = parse_shard(args.shard)
+    islands = args.islands
+    if islands is None:
+        islands = ExperimentSettings().islands  # REPRO_ISLANDS, default 0
+        if not islands and shard_count > 1:
+            caps = generator_capabilities(generator)
+            if caps.feedback:
+                # A sharded feedback approach only works island-partitioned;
+                # default to one island per shard rather than erroring out.
+                islands = shard_count
+                print(
+                    f"note: {args.approach} is a feedback approach; running "
+                    f"shard {shard_index}/{shard_count} as an island campaign "
+                    f"(--islands {islands})",
+                    file=sys.stderr,
+                )
+    merge_every = (
+        args.merge_every
+        if args.merge_every is not None
+        else ExperimentSettings().merge_every  # REPRO_MERGE_EVERY, default 25
+    )
+    island_peers: tuple = ()
+    if islands and shard_count > 1:
+        if not args.resume:
+            print(
+                "sharded island campaigns need --resume PATH: island shards "
+                "exchange migrants through each other's checkpoint files",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            island_peers = tuple(
+                str(p)
+                for p in derive_peer_paths(args.resume, shard_index, shard_count)
+            )
+        except ValueError as e:
+            print(str(e), file=sys.stderr)
+            return 2
     engine_kwargs = dict(
         jobs=args.jobs,
         compile_cache=not args.no_cache,
         backend=args.backend,
         shard_index=shard_index,
         shard_count=shard_count,
+        islands=islands,
+        merge_every=merge_every,
+        island_peers=island_peers,
     )
     if args.exec_mode is not None:  # else REPRO_EXEC_MODE / the default
         engine_kwargs["exec_mode"] = args.exec_mode
@@ -121,6 +164,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if shard_count > 1:
         owned = len(range(shard_index, args.budget, shard_count))
         print(f"shard:                {shard_index}/{shard_count} ({owned} programs)")
+    if islands:
+        print(f"islands:              {islands} (merge every {merge_every})")
     if store is not None:
         print(f"checkpoint:           {store.path}")
     print(f"compile cache:        {'off' if args.no_cache else 'on'}")
@@ -162,17 +207,10 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     if args.no_cache:
         kwargs["compile_cache"] = False
     settings = ExperimentSettings(**kwargs)
-    if parse_shard(settings.shard) != (0, 1):
-        # fail fast, before any campaign burns compute: every table runs
-        # the llm4fp feedback approach, which the sharded engine rejects
-        print(
-            "tables cannot run sharded: the table experiments include the "
-            "llm4fp feedback approach, whose program stream depends on "
-            "verdicts other shards would compute. Shard individual "
-            "feedback-free campaigns instead: llm4fp run --shard i/n",
-            file=sys.stderr,
-        )
-        return 2
+    # Sharded table runs (REPRO_SHARD) execute every classically shardable
+    # approach and append a per-approach skip note for the rest; feedback
+    # approaches can still participate as island campaigns (REPRO_ISLANDS
+    # with --checkpoint-dir).
     ctx = ExperimentContext(settings)
     names = args.names or list(_TABLES)
     for name in names:
@@ -247,6 +285,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             jobs=None if args.jobs is None else str(args.jobs),
             exec_mode=args.exec_mode,
             compile_cache=not args.no_cache,
+            islands=args.islands,
+            merge_every=args.merge_every,
         )
         supervisor = FleetSupervisor(
             spec, args.shards, args.dir, config=config, chain_triage=args.triage
@@ -367,12 +407,27 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--shard", default=None, metavar="i/n",
         help="test only budget indices with index %% n == i; disjoint "
-        "shards merge bit-identically (feedback-free approaches only)",
+        "shards merge bit-identically (feedback approaches shard via the "
+        "island model — see --islands)",
+    )
+    p_run.add_argument(
+        "--islands", type=int, default=None, metavar="N",
+        help="island-model generation: partition generation itself into N "
+        "islands (index %% N), each evolving its own population with "
+        "fitness-weighted mutation; the sharding mode that admits feedback "
+        "approaches (default: REPRO_ISLANDS, or auto = shard count for a "
+        "sharded feedback approach)",
+    )
+    p_run.add_argument(
+        "--merge-every", type=int, default=None, metavar="K", dest="merge_every",
+        help="island merge-point cadence: exchange top triggers after "
+        "every K owned programs (default: REPRO_MERGE_EVERY or 25)",
     )
     p_run.add_argument(
         "--resume", default=None, metavar="PATH",
         help="JSONL checkpoint file: completed programs are replayed from "
-        "it, new ones appended, so an interrupted campaign continues",
+        "it, new ones appended, so an interrupted campaign continues "
+        "(sharded island runs require it, with 'shard<i>' in the filename)",
     )
     p_run.add_argument(
         "--no-cache", action="store_true",
@@ -469,9 +524,20 @@ def main(argv: list[str] | None = None) -> int:
         help="concurrent shard workers (default: REPRO_FLEET_WORKERS or 2)",
     )
     p_serve.add_argument("--approach", choices=ALL_APPROACHES, default="loops",
-                         help="feedback-free approach to run (default loops)")
+                         help="approach to run (default loops; feedback "
+                         "approaches run as island campaigns automatically)")
     p_serve.add_argument("--budget", type=int, default=100)
     p_serve.add_argument("--seed", type=int, default=20250916)
+    p_serve.add_argument(
+        "--islands", type=int, default=None, metavar="N",
+        help="run workers as island shards (N must equal --shards); "
+        "default: worker auto-detection (islands for feedback approaches)",
+    )
+    p_serve.add_argument(
+        "--merge-every", type=int, default=None, metavar="K", dest="merge_every",
+        help="island merge-point cadence forwarded to workers "
+        "(default: each worker's REPRO_MERGE_EVERY or 25)",
+    )
     p_serve.add_argument(
         "--backend", choices=BACKENDS, default=None,
         help="worker engine backend (default: each worker's own default)",

@@ -87,7 +87,13 @@ from repro.execution.batch import DEFAULT_EXEC_MODE, EXEC_MODES, run_batch_task
 from repro.execution.result import ExecutionResult, _value_hex
 from repro.frontend.parser import parse_program
 from repro.frontend.sema import check_program
-from repro.generation.program import GeneratedProgram, ProgramGenerator
+from repro.generation.islands import IslandCoordinator
+from repro.generation.program import (
+    GeneratedProgram,
+    ProgramGenerator,
+    generator_capabilities,
+    observe_outcome,
+)
 from repro.ir import nodes as ir
 from repro.ir.lower import lower_compute
 from repro.toolchains.base import Binary, Compiler, CompilerKind, _flags_or
@@ -189,6 +195,19 @@ class EngineConfig:
         shard_index / shard_count: run only budget indices where
             ``index % shard_count == shard_index``; disjoint shards merge
             to the unsharded result (:func:`repro.difftest.store.merge_shards`).
+        islands: ``0`` (off) replays the whole generation stream on every
+            shard (feedback-free generators only); ``n >= 1`` partitions
+            *generation itself* into ``n`` islands (budget index ``i``
+            belongs to island ``i % n``), each evolving its own population
+            — the sharding mode that admits feedback generators.  A
+            sharded island campaign needs ``islands == shard_count``.
+        merge_every: island merge-point cadence — after every
+            ``merge_every`` owned programs an island exports its top
+            triggers and imports its lower-numbered peers' same-generation
+            exports (see :mod:`repro.generation.islands`).
+        island_peers: sibling checkpoint paths (one per island, island
+            order) for a *sharded* island campaign; how concurrently
+            running shards find each other's merge-point exports.
         exec_mode: how the execute stage runs kernels — ``"tape"``
             (compiled register-machine tapes, the default), ``"tree"``
             (the reference tree-walk interpreter) or ``"check"`` (both,
@@ -204,6 +223,9 @@ class EngineConfig:
     backend: str = "thread"
     shard_index: int = 0
     shard_count: int = 1
+    islands: int = 0
+    merge_every: int = 25
+    island_peers: tuple = ()
     exec_mode: str = field(
         default_factory=lambda: os.environ.get("REPRO_EXEC_MODE", DEFAULT_EXEC_MODE)
     )
@@ -230,6 +252,17 @@ class EngineConfig:
                 f"shard_index must be in [0, {self.shard_count}), "
                 f"got {self.shard_index}"
             )
+        if self.islands < 0:
+            raise ValueError("islands must be >= 0 (0 disables the island model)")
+        if self.merge_every < 1:
+            raise ValueError("merge_every must be >= 1")
+        if self.islands and self.shard_count > 1 and self.islands != self.shard_count:
+            raise ValueError(
+                "sharded island campaigns need one island per shard: "
+                f"islands={self.islands}, shard_count={self.shard_count}"
+            )
+        if self.island_peers and not self.islands:
+            raise ValueError("island_peers given but islands=0")
 
     @property
     def resolved_jobs(self) -> int:
@@ -420,19 +453,28 @@ class CampaignEngine:
         programs are appended, so an interrupted campaign resumes from
         the last completed program bit-identically.
 
-        When the engine is sharded (``shard_count > 1``) only owned budget
-        indices are tested; generation still covers every index so all
-        shards see the identical program stream.  Sharding a feedback
-        generator is rejected: its stream depends on verdicts other
-        shards would compute.
+        When the engine is classically sharded (``shard_count > 1``,
+        ``islands == 0``) only owned budget indices are tested; generation
+        still covers every index so all shards see the identical program
+        stream.  Classically sharding a feedback generator is rejected:
+        its stream depends on verdicts other shards would compute — use
+        the island model (``islands == shard_count``), which partitions
+        generation itself so feedback stays island-local.
         """
         config = self.config
         ec = self.engine_config
-        if ec.shard_count > 1 and getattr(generator, "use_feedback", False):
+        caps = generator_capabilities(generator)
+        if ec.shard_count > 1 and caps.feedback and not ec.islands:
             raise ValueError(
-                "cannot shard a feedback generator: program i+1 depends on "
-                "verdicts for earlier programs, which other shards compute; "
-                "use a feedback-free approach or shard_count=1"
+                "cannot shard a feedback generator classically: program i+1 "
+                "depends on verdicts for earlier programs, which other shards "
+                "compute; run it as an island campaign (--islands "
+                f"{ec.shard_count}) or use shard_count=1"
+            )
+        if ec.islands and ec.shard_count > 1 and store is None:
+            raise ValueError(
+                "sharded island campaigns need a checkpoint store: islands "
+                "exchange migrants through sibling shards' checkpoint files"
             )
         result = CampaignResult(
             approach=getattr(generator, "name", type(generator).__name__),
@@ -445,6 +487,20 @@ class CampaignEngine:
         done: dict[int, ProgramOutcome] = {}
         if store is not None:
             done = store.open(self._store_header(result))
+        coordinator: IslandCoordinator | None = None
+        if ec.islands:
+            coordinator = IslandCoordinator(
+                generator,
+                islands=ec.islands,
+                merge_every=ec.merge_every,
+                seed=config.seed,
+                shard_index=ec.shard_index,
+                shard_count=ec.shard_count,
+                peer_paths=ec.island_peers,
+                existing_records=(
+                    store.island_records if store is not None else ()
+                ),
+            )
         sw = Stopwatch()
         # Snapshot lifetime counters so a reused engine (warm shared cache,
         # prior test_program calls) reports per-run deltas, not totals.
@@ -452,10 +508,19 @@ class CampaignEngine:
         cache_before = self.cache.stats() if self.cache is not None else None
         with create_backend(ec.backend, ec.jobs) as backend:
             for i in range(config.budget):
-                with sw.phase("generate"):
-                    program = generator.generate()
-                if not ec.owns(i):
+                if coordinator is None:
+                    # Classic mode: every shard replays the whole stream.
+                    with sw.phase("generate"):
+                        program = generator.generate()
+                    if not ec.owns(i):
+                        continue
+                elif not ec.owns(i):
+                    # Island mode: unowned indices belong to another
+                    # shard's island — not generated here at all.
                     continue
+                else:
+                    with sw.phase("generate"):
+                        program = coordinator.generate(i)
                 prior = done.get(i)
                 if prior is not None:
                     _check_replay(i, prior, program)
@@ -464,10 +529,21 @@ class CampaignEngine:
                     outcome = self.test_program(
                         i, program, _sw=sw, _backend=backend
                     )
-                if outcome.triggered:
-                    generator.notify_success(program)
+                if coordinator is None:
+                    observe_outcome(generator, outcome)
+                    island_records: list[dict] = []
+                else:
+                    island_records = coordinator.observe(i, outcome)
                 if prior is None and store is not None:
                     store.append(outcome)
+                if store is not None:
+                    # After the boundary outcome is durable, never before:
+                    # a sibling island polling this file must not see the
+                    # export ahead of the outcomes that produced it.
+                    for record in island_records:
+                        store.append_island(record)
+                if coordinator is not None:
+                    coordinator.complete_boundary(i)
                 result.outcomes.append(outcome)
                 if progress is not None:
                     progress(i, outcome)
@@ -485,6 +561,12 @@ class CampaignEngine:
             "max_steps": self.config.max_steps,
             "shard_index": self.engine_config.shard_index,
             "shard_count": self.engine_config.shard_count,
+            # 0/0 when the island model is off, matching what pre-v4
+            # headers imply — so old checkpoints resume cleanly.
+            "islands": self.engine_config.islands,
+            "merge_every": (
+                self.engine_config.merge_every if self.engine_config.islands else 0
+            ),
         }
 
     def _charge(

@@ -43,6 +43,7 @@ __all__ = [
     "load_triggers",
     "merge_shards",
     "merge_shard_stores",
+    "read_island_records",
     "tail_outcomes",
     "encode_outcome",
     "decode_outcome",
@@ -57,6 +58,10 @@ __all__ = [
 # * v3 — the if-conversion (masked vectorization) tier: ``tag`` may now
 #   also be ``masked-lane``, and the host/device pipelines if-convert, so
 #   v3 campaigns compute different matrices than v2 ones.
+# * v4 — island-model generation: the header gains ``islands`` and
+#   ``merge_every`` (0/0 when the campaign is not island-partitioned) and
+#   files may carry ``island`` merge-point records between outcomes.  A
+#   v3 header reads as islands=0/merge_every=0.
 #
 # New checkpoints are written at the current version.  Older versions
 # remain *readable* (``load_result`` / ``merge`` / ``triage`` — missing
@@ -68,8 +73,11 @@ __all__ = [
 # the newest writer); the retained legacy rows still describe the models
 # of the version that wrote them — analyses mixing versions are comparing
 # those models, not a bug in the store.
-_FORMAT_VERSION = 3
-_READABLE_VERSIONS = frozenset({1, 2, _FORMAT_VERSION})
+_FORMAT_VERSION = 4
+_READABLE_VERSIONS = frozenset({1, 2, 3, _FORMAT_VERSION})
+
+#: Header fields introduced by v4, with the value a pre-v4 header implies.
+_ISLAND_DEFAULTS = {"islands": 0, "merge_every": 0}
 
 
 class CampaignStoreError(ValueError):
@@ -193,6 +201,10 @@ class CampaignStore:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
+        #: ``island`` merge-point records found by :meth:`open` (file
+        #: order), extended by :meth:`append_island` — the engine replays
+        #: these into the island coordinator on ``--resume``.
+        self.island_records: list[dict] = []
 
     def open(self, header: dict) -> dict[int, ProgramOutcome]:
         """Validate/initialize the file; return checkpointed outcomes."""
@@ -214,8 +226,13 @@ class CampaignStore:
         stored_header = lines[0]
         legacy = stored_header != expected
         if legacy and not self._legacy_match(stored_header, expected):
+            si, ei = self._identity(stored_header), self._identity(expected)
+            fields = sorted(k for k in si | ei if si.get(k) != ei.get(k))
+            if not fields:  # identities agree: an unreadable version is the cause
+                fields = ["version"]
             raise CampaignStoreError(
-                f"checkpoint {self.path} belongs to a different campaign:\n"
+                f"checkpoint {self.path} belongs to a different campaign "
+                f"(mismatched: {', '.join(fields)}):\n"
                 f"  stored:   {stored_header}\n  expected: {expected}"
             )
         if good_bytes < total_bytes:
@@ -230,10 +247,15 @@ class CampaignStore:
             # nightly asks for), their bytes untouched.
             self._rewrite_header(expected)
         done: dict[int, ProgramOutcome] = {}
+        self.island_records = []
         for record in lines[1:]:
-            if record.get("kind") != "outcome":
+            kind = record.get("kind")
+            if kind == "island":
+                self.island_records.append(record)
+                continue
+            if kind != "outcome":
                 raise CampaignStoreError(
-                    f"unexpected record kind {record.get('kind')!r} in {self.path}"
+                    f"unexpected record kind {kind!r} in {self.path}"
                 )
             outcome = decode_outcome(record)
             done[outcome.index] = outcome
@@ -243,18 +265,36 @@ class CampaignStore:
         """Durably checkpoint one completed program."""
         self._write_line(encode_outcome(outcome), mode="a")
 
+    def append_island(self, record: dict) -> None:
+        """Durably checkpoint one island merge-point record.
+
+        Written immediately after the outcome the boundary fell on, so
+        the record's file position encodes where
+        :func:`merge_shard_stores` must splice it in the merged file.
+        """
+        self._write_line(record, mode="a")
+        self.island_records.append(record)
+
     # -- internals ---------------------------------------------------------------
 
     @staticmethod
-    def _legacy_match(stored: dict, expected: dict) -> bool:
+    def _identity(header: dict) -> dict:
+        """The campaign identity a header pins, normalized across versions
+        (pre-v4 headers imply islands=0 / merge_every=0)."""
+        ident = {k: v for k, v in header.items() if k != "version"}
+        for key, default in _ISLAND_DEFAULTS.items():
+            ident.setdefault(key, default)
+        return ident
+
+    @classmethod
+    def _legacy_match(cls, stored: dict, expected: dict) -> bool:
         """Whether ``stored`` is the same campaign at an older, readable
         format version — the ``--resume`` compat path for pre-masked-tier
-        nightly checkpoints (rows simply decode with ``tag=None``)."""
+        nightly checkpoints (rows simply decode with ``tag=None``, headers
+        without island fields as islands=0)."""
         if stored.get("version") not in _READABLE_VERSIONS:
             return False
-        return {k: v for k, v in stored.items() if k != "version"} == {
-            k: v for k, v in expected.items() if k != "version"
-        }
+        return cls._identity(stored) == cls._identity(expected)
 
     def _rewrite_header(self, header: dict) -> None:
         """Replace the first line with ``header``, record bytes untouched
@@ -320,9 +360,12 @@ def load_result(path: str | os.PathLike) -> CampaignResult:
         )
     outcomes = []
     for record in lines[1:]:
-        if record.get("kind") != "outcome":
+        kind = record.get("kind")
+        if kind == "island":
+            continue  # merge-point metadata, not a program outcome
+        if kind != "outcome":
             raise CampaignStoreError(
-                f"unexpected record kind {record.get('kind')!r} in {path}"
+                f"unexpected record kind {kind!r} in {path}"
             )
         outcomes.append(decode_outcome(record))
     outcomes.sort(key=lambda o: o.index)
@@ -348,6 +391,23 @@ def load_triggers(path: str | os.PathLike) -> list[ProgramOutcome]:
     counts the non-triggering programs.)
     """
     return load_result(path).triggering_outcomes
+
+
+def read_island_records(path: str | os.PathLike) -> list[dict]:
+    """All complete ``island`` merge-point records in a checkpoint.
+
+    The sharded exchange path: an island polls its siblings' checkpoint
+    files for the exports it needs to cross a merge point.  A file that
+    does not exist yet (the sibling has not started) reads as ``[]``, as
+    does a crash tail — only complete, fsync'd records are visible.
+    """
+    p = Path(path)
+    if not p.exists():
+        return []
+    lines, _, _ = CampaignStore(p)._read_complete_lines()
+    return [
+        r for r in lines if isinstance(r, dict) and r.get("kind") == "island"
+    ]
 
 
 # -- incremental progress reads ---------------------------------------------------
@@ -481,6 +541,7 @@ def merge_shard_stores(
         raise CampaignStoreError("merge_shard_stores needs at least one shard file")
     headers: list[dict] = []
     rows: dict[int, bytes] = {}
+    island_rows: dict[int, list[bytes]] = {}  # budget index -> island lines after it
     for path in paths:
         data = Path(path).read_bytes()
         header: dict | None = None
@@ -500,6 +561,9 @@ def merge_shard_stores(
                         f"{record.get('version')!r}"
                     )
                 header = record
+                continue
+            if record.get("kind") == "island":
+                island_rows.setdefault(int(record["after"]), []).append(raw)
                 continue
             if record.get("kind") != "outcome":
                 raise CampaignStoreError(
@@ -566,6 +630,11 @@ def merge_shard_stores(
         )
         for index in range(budget):
             f.write(rows[index])
+            # Each shard wrote its island records right after the boundary
+            # outcome; replaying them at the same index reproduces the
+            # byte layout of the unsharded --islands run.
+            for raw in island_rows.get(index, ()):
+                f.write(raw)
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, out)

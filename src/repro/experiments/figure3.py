@@ -12,7 +12,7 @@ __all__ = ["compute", "render", "run"]
 def compute(ctx: ExperimentContext) -> dict[str, dict[str, int]]:
     """{approach: {kind label: count}} for the two Figure 3 series."""
     out: dict[str, dict[str, int]] = {}
-    for approach in ("varity", "llm4fp"):
+    for approach in ctx.runnable(("varity", "llm4fp")):
         kinds = ctx.report(approach).kind_counts()
         out[approach] = {
             kind_label(kind): kinds.counts.get(kind, 0) for kind in ALL_KINDS
@@ -28,8 +28,8 @@ def render(series: dict[str, dict[str, int]], budget: int) -> str:
     )
     shown = 0
     for label in labels:
-        v = series["varity"].get(label, 0)
-        l = series["llm4fp"].get(label, 0)
+        v = series.get("varity", {}).get(label, 0)
+        l = series.get("llm4fp", {}).get(label, 0)
         if v == 0 and l == 0:
             continue
         table.add_row([label, v, l])
@@ -40,4 +40,6 @@ def render(series: dict[str, dict[str, int]], budget: int) -> str:
 
 
 def run(ctx: ExperimentContext) -> str:
-    return render(compute(ctx), ctx.settings.budget)
+    parts = [render(compute(ctx), ctx.settings.budget)]
+    parts.extend(ctx.skip_notes(("varity", "llm4fp")))
+    return "\n".join(parts)

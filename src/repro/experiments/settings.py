@@ -109,6 +109,14 @@ class ExperimentSettings:
     shard: str | None = field(
         default_factory=lambda: os.environ.get("REPRO_SHARD") or None
     )
+    #: island-model generation: number of islands (``REPRO_ISLANDS``);
+    #: 0 disables islands (classic whole-stream sharding)
+    islands: int = field(default_factory=lambda: _env_int("REPRO_ISLANDS", 0))
+    #: island merge-point cadence, in owned programs per generation
+    #: (``REPRO_MERGE_EVERY``)
+    merge_every: int = field(
+        default_factory=lambda: _env_int("REPRO_MERGE_EVERY", 25)
+    )
     #: directory of per-approach JSONL checkpoints (``REPRO_CHECKPOINT_DIR``);
     #: unset = no persistence.  Re-running with the same settings resumes.
     checkpoint_dir: str | None = field(
@@ -152,6 +160,10 @@ class ExperimentSettings:
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
         parse_shard(self.shard)  # validates "i/n"
+        if self.islands < 0:
+            raise ValueError("islands must be >= 0 (0 disables the island model)")
+        if self.merge_every < 1:
+            raise ValueError("merge_every must be >= 1")
         if self.fleet_workers < 1:
             raise ValueError("fleet_workers must be >= 1")
         if self.fleet_heartbeat <= 0:
@@ -178,6 +190,8 @@ ENV_KNOBS: dict[str, str] = {
     "compile_cache": "REPRO_CACHE",
     "cache_capacity": "REPRO_CACHE_CAPACITY",
     "shard": "REPRO_SHARD",
+    "islands": "REPRO_ISLANDS",
+    "merge_every": "REPRO_MERGE_EVERY",
     "checkpoint_dir": "REPRO_CHECKPOINT_DIR",
     "fleet_workers": "REPRO_FLEET_WORKERS",
     "fleet_heartbeat": "REPRO_FLEET_HEARTBEAT",

@@ -28,7 +28,7 @@ def compute(ctx: ExperimentContext) -> list[Table2Row]:
     from repro.experiments.approaches import APPROACHES
 
     rows: list[Table2Row] = []
-    for approach in APPROACHES:
+    for approach in ctx.runnable(APPROACHES):
         result = ctx.campaign(approach)
         diversity = corpus_diversity(
             result.sources, max_pairs=ctx.settings.codebleu_pairs, seed=ctx.settings.seed
@@ -67,4 +67,8 @@ def render(rows: list[Table2Row], budget: int) -> str:
 
 
 def run(ctx: ExperimentContext) -> str:
-    return render(compute(ctx), ctx.settings.budget)
+    from repro.experiments.approaches import APPROACHES
+
+    parts = [render(compute(ctx), ctx.settings.budget)]
+    parts.extend(ctx.skip_notes(APPROACHES))
+    return "\n".join(parts)

@@ -40,4 +40,7 @@ def render(by_level: dict[OptLevel, KindCount], budget: int) -> str:
 
 
 def run(ctx: ExperimentContext) -> str:
+    reason = ctx.skip_reason("llm4fp")
+    if reason is not None:
+        return f"note: skipped table3 on this shard — {reason}"
     return render(compute(ctx), ctx.settings.budget)

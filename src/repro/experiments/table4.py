@@ -16,7 +16,7 @@ Cells = dict[tuple[str, str], dict[OptLevel, PairLevelCell]]
 def compute(ctx: ExperimentContext) -> dict[str, Cells]:
     return {
         approach: ctx.report(approach).pair_level_cells()
-        for approach in ("varity", "llm4fp")
+        for approach in ctx.runnable(("varity", "llm4fp"))
     }
 
 
@@ -47,4 +47,6 @@ def render(data: dict[str, Cells], budget: int) -> str:
 
 
 def run(ctx: ExperimentContext) -> str:
-    return render(compute(ctx), ctx.settings.budget)
+    parts = [render(compute(ctx), ctx.settings.budget)]
+    parts.extend(ctx.skip_notes(("varity", "llm4fp")))
+    return "\n".join(parts)

@@ -15,7 +15,7 @@ Rates = dict[str, dict[OptLevel, float]]
 def compute(ctx: ExperimentContext) -> dict[str, Rates]:
     return {
         approach: ctx.report(approach).vs_o0_nofma()
-        for approach in ("varity", "llm4fp")
+        for approach in ctx.runnable(("varity", "llm4fp"))
     }
 
 
@@ -49,4 +49,6 @@ def render(data: dict[str, Rates], budget: int) -> str:
 
 
 def run(ctx: ExperimentContext) -> str:
-    return render(compute(ctx), ctx.settings.budget)
+    parts = [render(compute(ctx), ctx.settings.budget)]
+    parts.extend(ctx.skip_notes(("varity", "llm4fp")))
+    return "\n".join(parts)

@@ -37,7 +37,7 @@ def compute(ctx: ExperimentContext) -> list[TriageSummaryRow]:
     from repro.triage.cluster import triage_campaign
 
     rows: list[TriageSummaryRow] = []
-    for approach in ALL_APPROACHES:
+    for approach in ctx.runnable(ALL_APPROACHES):
         result = ctx.campaign(approach)
         report = triage_campaign(result, reduce=False)
         if report.clusters:
@@ -91,4 +91,6 @@ def render(rows: list[TriageSummaryRow], budget: int) -> str:
 
 
 def run(ctx: ExperimentContext) -> str:
-    return render(compute(ctx), ctx.settings.budget)
+    parts = [render(compute(ctx), ctx.settings.budget)]
+    parts.extend(ctx.skip_notes(ALL_APPROACHES))
+    return "\n".join(parts)

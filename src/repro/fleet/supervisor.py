@@ -27,6 +27,17 @@ The supervisor adds the scheduling the human used to do:
   merged store still matches an unkilled single-process run byte for
   byte.
 
+Island campaigns (a feedback approach, or an explicit ``islands`` in the
+spec) need no extra machinery here: each worker is an island that
+exchanges merge-point records through the sibling checkpoints already
+sitting in the fleet directory.  The one scheduling property they rely on
+is that shards acquire worker slots in ascending index order (the
+supervisor launches shard drivers in index order and holds a shard's
+slot across its retries), because an island only ever waits on *lower*
+islands — so a fleet with fewer workers than shards cannot deadlock on a
+merge point, and a SIGKILLed island resumes, replays its generation
+stream, and re-emits byte-identical records.
+
 Every decision is recorded in ``fleet_events.jsonl``
 (:mod:`repro.fleet.events`) with monotonic timestamps.
 """
@@ -73,6 +84,11 @@ class CampaignSpec:
     jobs: str | None = None
     exec_mode: str | None = None
     compile_cache: bool = True
+    #: island-model generation: islands per campaign (None = worker
+    #: default — 0, or auto-islands for a sharded feedback approach)
+    islands: int | None = None
+    #: island merge-point cadence (None = worker default)
+    merge_every: int | None = None
     #: label used for the campaign's directory in queue mode
     name: str = ""
 
@@ -112,6 +128,10 @@ class CampaignSpec:
             argv += ["--jobs", str(self.jobs)]
         if self.exec_mode is not None:
             argv += ["--exec-mode", self.exec_mode]
+        if self.islands is not None:
+            argv += ["--islands", str(self.islands)]
+        if self.merge_every is not None:
+            argv += ["--merge-every", str(self.merge_every)]
         if not self.compile_cache:
             argv += ["--no-cache"]
         return argv

@@ -102,3 +102,14 @@ class SuccessSet:
             raise LookupError("successful set is empty")
         weights = [1.0 + i for i in range(len(self._programs))]
         return self._programs[self._rng.weighted_index(weights)]
+
+    def export_state(self) -> dict:
+        """Stored programs plus the sampling-stream position (JSON-safe)."""
+        return {"programs": list(self._programs), "rng": self._rng.export_state()}
+
+    def import_state(self, state: dict) -> None:
+        self._programs = []
+        self._seen = set()
+        for source in state["programs"]:
+            self.add(source)
+        self._rng.import_state(state["rng"])

@@ -21,9 +21,23 @@ from repro.frontend.printer import print_c
 from repro.frontend.sema import check_program
 from repro.fp.formats import Precision
 from repro.generation.llm.base import GenerationConfig
+from repro.generation.prompts import MUTATION_STRATEGIES
 from repro.utils.rng import SplittableRng
 
 __all__ = ["Mutator"]
+
+#: Which mutation operators realize each prompt strategy — how a
+#: "Focus especially on this strategy" prompt line (island fitness
+#: steering) becomes a guaranteed operator application.  Keys are the
+#: exact MUTATION_STRATEGIES strings, in order: nesting/reordering,
+#: constants, control flow, math functions, intermediates.
+_FOCUS_OPS: dict[str, tuple[str, ...]] = {
+    MUTATION_STRATEGIES[0]: ("_nest_expression", "_reorder_statements"),
+    MUTATION_STRATEGIES[1]: ("_perturb_constants",),
+    MUTATION_STRATEGIES[2]: ("_wrap_in_loop", "_wrap_in_conditional"),
+    MUTATION_STRATEGIES[3]: ("_swap_functions",),
+    MUTATION_STRATEGIES[4]: ("_insert_intermediate", "_insert_fma_chain"),
+}
 
 #: Domain-compatible function swaps: same argument domain, different curve.
 _FUNC_SWAPS = {
@@ -86,10 +100,21 @@ class Mutator:
         self.config = config
 
     def mutate(
-        self, rng: SplittableRng, example_source: str, precision: Precision
+        self,
+        rng: SplittableRng,
+        example_source: str,
+        precision: Precision,
+        focus: str | None = None,
     ) -> tuple[str, list[str]] | None:
-        """Return (mutated source, strategies applied) or None on failure."""
+        """Return (mutated source, strategies applied) or None on failure.
+
+        ``focus`` (a MUTATION_STRATEGIES string from the prompt's focus
+        line) guarantees one application of a matching operator; without it
+        every application is drawn uniformly, consuming exactly the
+        pre-island RNG stream.
+        """
         self._precision = precision
+        focus_ops = _FOCUS_OPS.get(focus, ()) if focus is not None else ()
         try:
             unit = parse_program(example_source)
         except ReproError:
@@ -138,8 +163,14 @@ class Mutator:
                 mutated = self._on_compute(
                     mutated, lambda block: second_op(state, block)
                 )
-            for _ in range(n_mut):
-                mutated = self._apply_one(state, mutated)
+            for j in range(n_mut):
+                if j == 0 and focus_ops:
+                    op = getattr(self, state.rng.choice(focus_ops))
+                    mutated = self._on_compute(
+                        mutated, lambda block: op(state, block)
+                    )
+                else:
+                    mutated = self._apply_one(state, mutated)
             # Renaming always runs: it is free behaviour-preserving token
             # diversity (the prompt asks for a *different-looking* program).
             mutated = self._rename_locals(state, mutated)

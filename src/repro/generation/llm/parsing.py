@@ -31,10 +31,13 @@ class GenerationRequest:
     precision: Precision
     example: str | None = None
     strategies: tuple[str, ...] = ()
+    #: the strategy the prompt asks to emphasize (island fitness steering)
+    focus: str | None = None
 
 
 _FENCE = re.compile(r"```\n(.*?)\n```", re.DOTALL)
 _STRATEGY_LINE = re.compile(r"^- (.+)$", re.MULTILINE)
+_FOCUS_LINE = re.compile(r"^Focus especially on this strategy: (.+)\.$", re.MULTILINE)
 
 
 def parse_prompt(prompt: str) -> GenerationRequest:
@@ -52,8 +55,14 @@ def parse_prompt(prompt: str) -> GenerationRequest:
             section = prompt.split("Mutation strategies to consider:")[1]
             section = section.split("\n\n")[0]
             strategies = tuple(_STRATEGY_LINE.findall(section))
+        focus_match = _FOCUS_LINE.search(prompt)
+        focus = focus_match.group(1) if focus_match else None
         return GenerationRequest(
-            PromptKind.MUTATION, precision, example=example, strategies=strategies
+            PromptKind.MUTATION,
+            precision,
+            example=example,
+            strategies=strategies,
+            focus=focus,
         )
 
     if "must follow this grammar" in prompt:

@@ -51,7 +51,10 @@ class SimLLM:
 
         if request.kind is PromptKind.MUTATION and request.example:
             mutated = self._mutator.mutate(
-                rng.split("mutate"), request.example, request.precision
+                rng.split("mutate"),
+                request.example,
+                request.precision,
+                focus=request.focus,
             )
             if mutated is not None:
                 source, applied = mutated
@@ -80,3 +83,25 @@ class SimLLM:
     @property
     def simulated_latency_seconds(self) -> float:
         return self.latency.total_seconds if self.latency else 0.0
+
+    # -- generator lifecycle support -------------------------------------------
+
+    def rebind(self, rng: SplittableRng) -> None:
+        """Re-derive the completion stream from a fresh root (island bind).
+
+        Resets the call counter and the presence memory so a rebound model
+        behaves exactly like one constructed with ``rng`` — which is what
+        makes an island's completions independent of which process or entry
+        point constructed the model.
+        """
+        self._rng = rng.split("simllm")
+        self._presence.clear()
+        self.calls = 0
+
+    def export_state(self) -> dict:
+        return {"calls": self.calls, "presence": list(self._presence)}
+
+    def import_state(self, state: dict) -> None:
+        self.calls = int(state["calls"])
+        self._presence.clear()
+        self._presence.extend(state["presence"])

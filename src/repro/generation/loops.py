@@ -24,7 +24,7 @@ vectorizers.
 from __future__ import annotations
 
 from repro.generation.inputs import InputProfile, generate_inputs
-from repro.generation.program import GeneratedProgram
+from repro.generation.program import GeneratedProgram, GeneratorCapabilities
 from repro.utils.rng import SplittableRng
 
 __all__ = ["LoopReductionGenerator"]
@@ -38,6 +38,7 @@ class LoopReductionGenerator:
 
     name = "loops"
     input_profile = InputProfile.PLAUSIBLE
+    capabilities = GeneratorCapabilities(feedback=False, shardable=True)
 
     def __init__(
         self,
@@ -72,8 +73,27 @@ class LoopReductionGenerator:
             meta={"strategy": "loops", "index": self._counter, "pattern": pattern},
         )
 
+    def bind(self, shard_index: int, shard_count: int, rng_seed: int) -> None:
+        """Binding ``0/1`` keeps the constructor stream; a real partition
+        re-derives it from ``(rng_seed, k, n)`` (see the protocol docs)."""
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ValueError(f"invalid partition {shard_index}/{shard_count}")
+        if shard_count > 1:
+            base = SplittableRng(rng_seed, f"island-{shard_index}of{shard_count}-{self.name}")
+            self._rng = base.split("loops")
+            self._counter = 0
+
+    def observe(self, outcome) -> None:
+        """Feedback-free (and therefore classically shardable), like varity."""
+
     def notify_success(self, program: GeneratedProgram) -> None:
         """Feedback-free (and therefore shardable), like varity."""
+
+    def export_state(self) -> dict:
+        return {"counter": self._counter}
+
+    def import_state(self, state: dict) -> None:
+        self._counter = int(state["counter"])
 
     # -- program synthesis -------------------------------------------------------
 

@@ -1,9 +1,19 @@
-"""Generated-program value objects and the generator protocol."""
+"""Generated-program value objects and the generator lifecycle protocol."""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "GeneratedProgram",
+    "GeneratorCapabilities",
+    "ProgramGenerator",
+    "bind_generator",
+    "generator_capabilities",
+    "observe_outcome",
+]
 
 
 @dataclass(frozen=True)
@@ -25,17 +35,129 @@ class GeneratedProgram:
         return self.meta.get("strategy", "unknown")
 
 
+@dataclass(frozen=True)
+class GeneratorCapabilities:
+    """What the engine may do with a generator, declared up front.
+
+    ``feedback``
+        Program *i+1* depends on the verdicts of earlier programs (the
+        LLM4FP mutation loop).  The engine must deliver every owned
+        outcome via :meth:`ProgramGenerator.observe`, and classic
+        replay-the-whole-stream sharding is unsound — feedback campaigns
+        shard through the island model instead (``--islands``).
+    ``shardable``
+        The generator can be :meth:`~ProgramGenerator.bind`-partitioned:
+        feedback-free generators shard classically (every shard replays
+        the identical stream), feedback generators shard as islands
+        (each shard evolves its own deterministic population).
+    """
+
+    feedback: bool = False
+    shardable: bool = True
+
+
+@runtime_checkable
 class ProgramGenerator(Protocol):
-    """A source of candidate programs — one of the paper's four approaches."""
+    """A source of candidate programs — one of the paper's approaches.
+
+    The lifecycle, in call order:
+
+    1. ``bind(shard_index, shard_count, rng_seed)`` — pin the generator to
+       its generation partition before the first ``generate()``.  Binding
+       partition ``0/1`` (the whole stream) is an identity operation: the
+       stream stays exactly the one the constructor seeded, which is what
+       classic sharding replays on every shard.  Binding ``k/n`` with
+       ``n > 1`` re-derives every RNG stream from ``(rng_seed, k, n)`` so
+       island *k* evolves the same population no matter which process,
+       entry point, or worker schedule runs it.
+    2. ``generate()`` — produce the next candidate program.
+    3. ``observe(outcome)`` — receive the full verdict for an owned
+       program (feeds the feedback set and the fitness census; no-op for
+       feedback-free approaches).
+    4. ``export_state()`` / ``import_state(state)`` — snapshot/restore the
+       evolution state as a JSON-serializable dict.
+
+    ``capabilities`` declares up front what the engine may do with the
+    generator; it replaces the deprecated ``use_feedback`` attribute probe
+    (see :func:`generator_capabilities`).
+    """
 
     name: str
+    capabilities: GeneratorCapabilities
+
+    def bind(self, shard_index: int, shard_count: int, rng_seed: int) -> None:
+        """Pin the generator to generation partition ``shard_index/shard_count``."""
+        ...
 
     def generate(self) -> GeneratedProgram:
         """Produce the next candidate program (with inputs)."""
         ...
 
-    def notify_success(self, program: GeneratedProgram) -> None:
-        """Called by the harness when ``program`` triggered an inconsistency
-        (feeds the LLM4FP feedback loop; no-op for feedback-free approaches).
+    def observe(self, outcome: Any) -> None:
+        """Receive the full :class:`~repro.difftest.record.ProgramOutcome`
+        for an owned program (feedback + fitness; no-op when feedback-free).
         """
         ...
+
+    def export_state(self) -> dict:
+        """Snapshot the evolution state as a JSON-serializable dict."""
+        ...
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        ...
+
+    def notify_success(self, program: GeneratedProgram) -> None:
+        """Deprecated pre-lifecycle feedback hook, kept for one release:
+        called with the program alone when it triggered an inconsistency.
+        New code receives the whole outcome through :meth:`observe`.
+        """
+        ...
+
+
+def generator_capabilities(generator: Any) -> GeneratorCapabilities:
+    """The declared :class:`GeneratorCapabilities` of ``generator``.
+
+    Generators predating the lifecycle protocol carry no ``capabilities``
+    field; for those the deprecated ``use_feedback`` attribute is probed
+    one last release (with a :class:`DeprecationWarning`), and generators
+    declaring neither are treated as feedback-free and shardable — the
+    semantics every 2-method generator had.
+    """
+    caps = getattr(generator, "capabilities", None)
+    if isinstance(caps, GeneratorCapabilities):
+        return caps
+    if hasattr(generator, "use_feedback"):
+        warnings.warn(
+            f"generator {getattr(generator, 'name', generator)!r} declares "
+            "use_feedback but no capabilities field; the use_feedback probe "
+            "is deprecated — declare "
+            "capabilities = GeneratorCapabilities(feedback=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return GeneratorCapabilities(
+            feedback=bool(generator.use_feedback), shardable=not generator.use_feedback
+        )
+    return GeneratorCapabilities(feedback=False, shardable=True)
+
+
+def bind_generator(
+    generator: Any, shard_index: int, shard_count: int, rng_seed: int
+) -> None:
+    """Call :meth:`ProgramGenerator.bind`, tolerating pre-lifecycle
+    generators (for which binding the whole stream was always implicit)."""
+    bind = getattr(generator, "bind", None)
+    if bind is not None:
+        bind(shard_index, shard_count, rng_seed)
+
+
+def observe_outcome(generator: Any, outcome: Any) -> None:
+    """Deliver ``outcome`` through the richest hook the generator has:
+    ``observe(outcome)`` when present, else the legacy
+    ``notify_success(program)`` on triggering outcomes only."""
+    observe = getattr(generator, "observe", None)
+    if observe is not None:
+        observe(outcome)
+    elif outcome.triggered:
+        generator.notify_success(outcome.program)

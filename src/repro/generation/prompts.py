@@ -101,9 +101,22 @@ def grammar_prompt(
 def mutation_prompt(
     example_source: str,
     precision: Precision = Precision.DOUBLE,
+    focus: str | None = None,
 ) -> str:
-    """Feedback-Based Mutation (§2.3.2): mutate a successful program."""
+    """Feedback-Based Mutation (§2.3.2): mutate a successful program.
+
+    ``focus`` names one of :data:`MUTATION_STRATEGIES` to emphasize — the
+    island model's fitness-weighted operator selection speaks to the LLM
+    through this prompt line, the same string-typed interface everything
+    else uses (the simulated LLM extracts it in
+    :func:`repro.generation.llm.parsing.parse_prompt`).
+    """
+    if focus is not None and focus not in MUTATION_STRATEGIES:
+        raise ValueError(f"unknown mutation strategy: {focus!r}")
     strategies = "\n".join(f"- {s}" for s in MUTATION_STRATEGIES)
+    focus_line = (
+        f"Focus especially on this strategy: {focus}.\n\n" if focus is not None else ""
+    )
     return (
         "Change the given floating-point C program to create a new one that "
         "behaves differently.\n\n"
@@ -116,6 +129,7 @@ def mutation_prompt(
         + "Mutation strategies to consider:\n"
         + strategies
         + "\n\n"
+        + focus_line
         + "Example program (previously triggered a numerical inconsistency):\n"
         + "```\n"
         + example_source.strip()

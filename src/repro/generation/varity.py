@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.generation.grammar import GrammarSpec, DEFAULT_GRAMMAR
 from repro.generation.inputs import InputProfile, generate_inputs
-from repro.generation.program import GeneratedProgram
+from repro.generation.program import GeneratedProgram, GeneratorCapabilities
 from repro.utils.rng import SplittableRng
 
 __all__ = ["VarityGenerator"]
@@ -36,6 +36,7 @@ class VarityGenerator:
 
     name = "varity"
     input_profile = InputProfile.WIDE
+    capabilities = GeneratorCapabilities(feedback=False, shardable=True)
 
     def __init__(
         self,
@@ -67,8 +68,28 @@ class VarityGenerator:
             meta={"strategy": "varity", "index": self._counter},
         )
 
+    def bind(self, shard_index: int, shard_count: int, rng_seed: int) -> None:
+        """Binding ``0/1`` keeps the constructor stream (classic sharding
+        replays the identical unsharded stream on every shard); binding a
+        real partition re-derives the stream from ``(rng_seed, k, n)``."""
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ValueError(f"invalid partition {shard_index}/{shard_count}")
+        if shard_count > 1:
+            base = SplittableRng(rng_seed, f"island-{shard_index}of{shard_count}-{self.name}")
+            self._rng = base.split("varity")
+            self._counter = 0
+
+    def observe(self, outcome) -> None:
+        """Varity has no feedback loop — verdicts are not reused."""
+
     def notify_success(self, program: GeneratedProgram) -> None:
         """Varity has no feedback loop — successes are not reused."""
+
+    def export_state(self) -> dict:
+        return {"counter": self._counter}
+
+    def import_state(self, state: dict) -> None:
+        self._counter = int(state["counter"])
 
     # -- program synthesis ---------------------------------------------------------
 

@@ -38,12 +38,29 @@ __all__ = [
     "TriageEntry",
     "TriageCluster",
     "TriageReport",
+    "outcome_signature",
     "triage_outcomes",
     "cluster_entries",
     "triage_campaign",
     "triage_results",
     "triage_single",
 ]
+
+
+def outcome_signature(
+    outcome: ProgramOutcome,
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The cheap part of a trigger's cluster identity: (kinds, cells).
+
+    The full :attr:`TriageEntry.cluster_key` needs per-cell bisection;
+    this bisection-free projection — the same ``kinds`` and ``cells`` a
+    full triage computes — is what island fitness scores signature
+    novelty against, so scoring stays cheap enough to run inline during
+    generation.
+    """
+    sigs = signatures_of(outcome)
+    kinds = tuple(sorted({s.kind for s in sigs}))
+    return kinds, divergence_cells(outcome)
 
 
 @dataclass(frozen=True)

@@ -103,5 +103,21 @@ class SplittableRng:
                 return i
         return len(weights) - 1
 
+    # -- state snapshot ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The stream position as a JSON-serializable dict.
+
+        The key (identity) is *not* exported: a snapshot restores onto a
+        stream constructed with the same ``(seed, path-of-labels)``.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return {"version": version, "state": list(internal), "gauss": gauss_next}
+
+    def import_state(self, state: dict) -> None:
+        self._random.setstate(
+            (state["version"], tuple(state["state"]), state["gauss"])
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SplittableRng(label={self._label!r}, key={self._key:#018x})"

@@ -1,0 +1,64 @@
+"""Sharded table runs: classically shardable approaches run, the rest
+are skipped with a per-approach note instead of failing the whole
+``llm4fp tables`` invocation."""
+
+from repro.experiments.approaches import APPROACHES
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.settings import ExperimentSettings
+
+
+def _ctx(**overrides):
+    defaults = dict(budget=4, shard="0/2")
+    defaults.update(overrides)
+    return ExperimentContext(ExperimentSettings(**defaults))
+
+
+class TestSkipReason:
+    def test_unsharded_runs_everything(self):
+        ctx = _ctx(shard=None)
+        assert [ctx.skip_reason(a) for a in APPROACHES] == [None] * 4
+        assert ctx.runnable(APPROACHES) == list(APPROACHES)
+        assert ctx.skip_notes(APPROACHES) == []
+
+    def test_sharded_skips_only_the_feedback_approach(self):
+        ctx = _ctx()
+        assert ctx.runnable(APPROACHES) == [
+            "varity", "direct-prompt", "grammar-guided"
+        ]
+        reason = ctx.skip_reason("llm4fp")
+        assert "feedback" in reason and "island" in reason
+        notes = ctx.skip_notes(APPROACHES)
+        assert notes == [f"note: skipped llm4fp on this shard — {reason}"]
+
+    def test_sharded_islands_with_checkpoints_runs_everything(self, tmp_path):
+        ctx = _ctx(islands=2, checkpoint_dir=str(tmp_path))
+        assert ctx.runnable(APPROACHES) == list(APPROACHES)
+
+    def test_sharded_islands_without_checkpoints_skips_all(self):
+        ctx = _ctx(islands=2)
+        reason = ctx.skip_reason("varity")
+        assert "--checkpoint-dir" in reason
+        assert ctx.runnable(APPROACHES) == []
+
+
+class TestShardedTableOutput:
+    def test_table2_renders_with_a_skip_note(self):
+        from repro.experiments.table2 import run
+
+        out = run(_ctx())
+        assert "varity" in out and "grammar-guided" in out
+        assert "note: skipped llm4fp on this shard" in out
+
+    def test_table3_reduces_to_its_skip_note(self):
+        from repro.experiments.table3 import run
+
+        out = run(_ctx())
+        assert out.startswith("note: skipped table3 on this shard")
+        assert "feedback" in out
+
+    def test_figure3_renders_the_remaining_series(self):
+        from repro.experiments.figure3 import run
+
+        out = run(_ctx())
+        assert "Figure 3" in out
+        assert "note: skipped llm4fp on this shard" in out

@@ -96,6 +96,60 @@ class TestKilledWorker:
         assert (0, 2) in target.launches
 
 
+class TestKilledIslandWorker:
+    """The island-model variant of the kill drill: migrant exchange state
+    lives in the checkpoints, so a SIGKILLed island must resume, re-emit
+    byte-identical island records, and merge to the unsharded run."""
+
+    MERGE_EVERY = 2
+
+    @pytest.fixture(scope="class")
+    def island_golden(self, tmp_path_factory):
+        from repro.difftest.config import CampaignConfig
+        from repro.difftest.engine import CampaignEngine, EngineConfig
+        from repro.difftest.store import CampaignStore
+        from repro.experiments.approaches import make_generator
+        from repro.toolchains import default_compilers
+        from repro.utils.rng import SplittableRng
+
+        path = tmp_path_factory.mktemp("island-golden") / "golden.jsonl"
+        CampaignEngine(
+            default_compilers(),
+            CampaignConfig(budget=BUDGET, seed=SEED),
+            EngineConfig(islands=4, merge_every=self.MERGE_EVERY),
+        ).run(
+            make_generator("llm4fp", SplittableRng(SEED, "cli-llm4fp")),
+            store=CampaignStore(path),
+        )
+        return path.read_bytes()
+
+    def test_sigkill_and_reassign_keeps_merge_points_byte_identical(
+        self, tmp_path, island_golden
+    ):
+        kill_after = random.Random().randint(1, OWNED_MIN - 2)
+        result = run_fleet(
+            CampaignSpec(
+                approach="llm4fp",
+                budget=BUDGET,
+                seed=SEED,
+                islands=4,
+                merge_every=self.MERGE_EVERY,
+            ),
+            shard_count=4,
+            workdir=tmp_path / "fleet",
+            config=fast_config(chaos_kill_after=kill_after),
+        )
+        assert result.ok, f"island fleet did not recover (kill_after={kill_after})"
+        assert result.deaths == 1
+        assert result.merged_path.read_bytes() == island_golden
+
+        events = read_events(result.events_path)
+        kinds = [e["event"] for e in events]
+        assert "chaos-kill" in kinds and "reassign" in kinds
+        healed = [s for s in result.shards if s.attempts == 2]
+        assert len(healed) == 1 and healed[0].status == "done"
+
+
 class TestStalledWorker:
     def test_stalled_heartbeat_triggers_kill_and_reassign(self, tmp_path):
         # attempt 1 is alive but writes no checkpoint rows: liveness is
