@@ -46,6 +46,16 @@ campaign each kernel runs once, so there the tape roughly breaks even;
 ``execute_stage_share`` records how little of campaign wall-clock the
 execute stage is (the Amdahl context for any engine-level expectation).
 
+A corpus-replay leg (schema 6) tracks the cost of the longitudinal
+regression prelude: the substrate workload's triggers are ingested into
+a scratch :class:`~repro.corpus.TriggerCorpus` and the same campaign is
+re-run wrapped in :class:`~repro.corpus.CorpusReplayGenerator`, its
+budget widened by the seed count.  ``corpus_replay_overhead`` is the
+per-program throughput of the wrapped campaign relative to the bare one
+(higher is better; 1.0 = the prelude is free) and is warn-only in the
+regression gate; that every replayed seed re-triggers under the same
+compiler model *is* asserted — the replay determinism contract.
+
 Run standalone for a report plus machine-readable results::
 
     python benchmarks/bench_engine.py --json BENCH_engine.json
@@ -255,6 +265,46 @@ def _tape_microbench(programs, batch: int = _TAPE_BATCH) -> dict:
     }
 
 
+def _corpus_replay_bench(programs, baseline_result, baseline_seconds) -> dict:
+    """The same campaign re-run behind the corpus regression prelude.
+
+    The baseline campaign's triggers become a scratch corpus; the wrapped
+    campaign replays every stored seed first, then the identical program
+    stream, so its extra cost is exactly the prelude.  Replayed seeds
+    are bit-identical programs under the same compiler model, so each
+    one must re-trigger — asserted in :func:`check`.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.corpus import CorpusReplayGenerator, TriggerCorpus
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with TriggerCorpus(Path(tmp) / "corpus.jsonl") as corpus:
+            corpus.ingest(baseline_result.outcomes, "bench")
+        seeds = corpus.seeds()
+    budget = len(programs)
+    engine = CampaignEngine(
+        default_compilers(),
+        CampaignConfig(budget=budget + len(seeds)),
+        CONFIGS["thread"],
+    )
+    generator = CorpusReplayGenerator(seeds, _Replay(programs))
+    t0 = time.perf_counter()
+    result = engine.run(generator)
+    seconds = time.perf_counter() - t0
+    prelude = result.outcomes[: len(seeds)]
+    throughput = (budget + len(seeds)) / seconds
+    baseline_throughput = budget / baseline_seconds
+    return {
+        "seeds": len(seeds),
+        "seconds": seconds,
+        "throughput": throughput,
+        "overhead": throughput / baseline_throughput,
+        "retriggered": sum(1 for o in prelude if o.triggered),
+    }
+
+
 def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
     programs = _workload(budget)
     keys = {}
@@ -303,9 +353,14 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
     island_identical = (
         _result_key(island_result) == _result_key(island_serial_result)
     )
+    # Corpus-replay leg: the regression prelude's per-program cost,
+    # relative to the bare thread campaign over the same stream.
+    corpus_replay = _corpus_replay_bench(
+        programs, shared["thread"], configs["thread"]["seconds"]
+    )
     stage_seconds = shared["thread"].stage_seconds
     return {
-        "schema": 5,
+        "schema": 6,
         "budget": budget,
         "cpu_count": os.cpu_count() or 1,
         "configs": configs,
@@ -333,6 +388,8 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
         "island_triggers": sum(
             1 for o in island_result.outcomes if o.triggered
         ),
+        "corpus_replay_overhead": corpus_replay["overhead"],
+        "corpus_replay_bench": corpus_replay,
     }
 
 
@@ -370,6 +427,10 @@ def render(m: dict) -> str:
         f"tree {m['tape_bench']['tree_seconds']:.2f}s -> "
         f"tape {m['tape_bench']['tape_seconds']:.2f}s  "
         f"({m['tape_speedup']:.2f}x, identical: {m['tape_bench']['identical']})",
+        f"  corpus replay prelude ({m['corpus_replay_bench']['seeds']} seeds): "
+        f"{m['corpus_replay_bench']['throughput']:7.1f} programs/s  "
+        f"({m['corpus_replay_overhead']:.2f}x of bare campaign, "
+        f"{m['corpus_replay_bench']['retriggered']} re-triggered)",
     ]
     return "\n".join(lines)
 
@@ -411,6 +472,13 @@ def check(m: dict) -> list[str]:
         failures.append(
             f"tape batched-execution speedup {m['tape_speedup']:.2f}x < 2.5x "
             "over the tree interpreter"
+        )
+    replay = m["corpus_replay_bench"]
+    if replay["retriggered"] != replay["seeds"]:
+        failures.append(
+            f"only {replay['retriggered']}/{replay['seeds']} corpus seeds "
+            "re-triggered under the same compiler model "
+            "(replay determinism contract broken)"
         )
     return failures
 

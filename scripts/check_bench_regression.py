@@ -33,6 +33,12 @@ Gated metrics (all higher-is-better):
   migrant exchange in the generate stage); warn-only, absolute.  The
   island determinism contract itself is asserted inside the benchmark,
   not gated here.
+* ``corpus_replay_overhead`` — per-program throughput of the campaign
+  behind the corpus regression prelude, relative to the bare campaign
+  (1.0 = the prelude is free).  A ratio of two runs on the same
+  machine, but of a tiny prelude over a small workload, so it is noisy
+  on shared runners — warn-only.  That every replayed seed re-triggers
+  is asserted inside the benchmark, not gated here.
 
 Usage::
 
@@ -60,6 +66,7 @@ SOFT_METRICS = (
     "loops_throughput",
     "loops_tape_throughput",
     "island_throughput",
+    "corpus_replay_overhead",
 )
 GATED_METRICS = HARD_METRICS + SOFT_METRICS
 

@@ -1,0 +1,77 @@
+"""Regenerate the committed nightly fixture corpus.
+
+``benchmarks/fixtures/corpus_fixture.jsonl`` is the longitudinal
+baseline for the nightly CI corpus leg: the nightly job runs the same
+campaign spec, ingests it into a scratch copy of the fixture, and
+uploads whatever signatures the fixture did not already hold as the
+``corpus-new-root-causes`` artifact.  In steady state that artifact
+reports zero new signatures; after an intentional compiler-model change
+it lists exactly the root causes the change introduced — at which point
+this script regenerates the fixture (commit the result):
+
+    python scripts/make_corpus_fixture.py
+
+The campaign spec below must stay in lockstep with the nightly job in
+``.github/workflows/ci.yml`` — a spec drift makes every nightly diff
+noisy.  The fixture is byte-deterministic for a given spec and compiler
+model (see docs/corpus.md), so regeneration without a model change is a
+no-op diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.corpus import TriggerCorpus
+from repro.difftest.store import load_result
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURE = REPO / "benchmarks" / "fixtures" / "corpus_fixture.jsonl"
+
+#: (approach, budget) — must match the nightly corpus leg in ci.yml;
+#: the seed is the ExperimentSettings default, also used by the nightly.
+SPEC = ("varity", 50)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the committed nightly fixture corpus"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=FIXTURE,
+        help=f"fixture path (default: {FIXTURE.relative_to(REPO)})",
+    )
+    args = parser.parse_args(argv)
+    approach, budget = SPEC
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "fixture-campaign.jsonl"
+        code = cli_main(
+            [
+                "run", "--approach", approach, "--budget", str(budget),
+                "--quiet", "--resume", str(checkpoint),
+            ]
+        )
+        if code != 0:
+            print(f"fixture campaign failed (exit {code})", file=sys.stderr)
+            return code
+        outcomes = load_result(checkpoint).outcomes
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.unlink(missing_ok=True)
+        with TriggerCorpus(args.out) as corpus:
+            report = corpus.ingest(outcomes, "fixture")
+    print(
+        f"wrote {args.out}: {len(report.new_keys)} signature(s) from "
+        f"{approach} budget {budget} ({report.triggers} triggers, "
+        f"model {report.model})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,7 @@
     llm4fp serve --shards 4 --workers 2 --approach loops --budget 1000
     llm4fp tables table2 table5
     llm4fp triage campaign.jsonl
+    llm4fp corpus diff corpus.jsonl campaign.jsonl
     llm4fp show-prompt grammar
 """
 
@@ -84,6 +85,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     rng = SplittableRng(args.seed, f"cli-{args.approach}")
     generator = make_generator(args.approach, rng)
+    corpus_path = (
+        args.corpus if args.corpus is not None else ExperimentSettings().corpus_path
+    )
+    replay_seeds = 0
+    if corpus_path:
+        from repro.corpus import CorpusError, CorpusReplayGenerator, TriggerCorpus
+
+        try:
+            seeds = TriggerCorpus.load(corpus_path).seeds()
+        except CorpusError as e:
+            print(str(e), file=sys.stderr)
+            return 2
+        generator = CorpusReplayGenerator(seeds, generator)
+        replay_seeds = len(seeds)
     config = CampaignConfig(budget=args.budget, seed=args.seed)
     shard_index, shard_count = parse_shard(args.shard)
     islands = args.islands
@@ -168,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"islands:              {islands} (merge every {merge_every})")
     if store is not None:
         print(f"checkpoint:           {store.path}")
+    if corpus_path:
+        print(f"corpus replay:        {replay_seeds} seed(s) from {corpus_path}")
     print(f"compile cache:        {'off' if args.no_cache else 'on'}")
     print(f"total comparisons:    {s['total_comparisons']:,}")
     print(f"inconsistencies:      {s['inconsistencies']:,}")
@@ -270,10 +287,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         chaos_kill_after=args.chaos_kill_after,
     )
+    corpus_path = (
+        args.corpus if args.corpus is not None else settings.corpus_path
+    )
     if args.queue is not None:
         results = asyncio.run(
             drain_queue(
-                args.queue, args.dir, config=config, chain_triage=args.triage
+                args.queue,
+                args.dir,
+                config=config,
+                chain_triage=args.triage,
+                corpus_path=corpus_path,
             )
         )
     else:
@@ -289,7 +313,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             merge_every=args.merge_every,
         )
         supervisor = FleetSupervisor(
-            spec, args.shards, args.dir, config=config, chain_triage=args.triage
+            spec,
+            args.shards,
+            args.dir,
+            config=config,
+            chain_triage=args.triage,
+            corpus_path=corpus_path,
         )
         results = [asyncio.run(supervisor.run())]
     for result in results:
@@ -364,6 +393,93 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    """Longitudinal trigger corpus: cross-campaign root-cause memory."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.corpus import (
+        CorpusError,
+        TriggerCorpus,
+        format_corpus_list,
+        format_diff_report,
+        format_ingest_report,
+        format_seeds,
+        render_signature,
+    )
+    from repro.difftest.store import CampaignStoreError
+
+    try:
+        if args.action == "ingest":
+            if not args.checkpoints:
+                print("corpus ingest needs checkpoint file(s)", file=sys.stderr)
+                return 2
+            all_new: set[str] = set()
+            with TriggerCorpus(args.corpus) as corpus:
+                for path in args.checkpoints:
+                    result = load_result(path)
+                    label = args.label or Path(path).name
+                    report = corpus.ingest(
+                        result, label, timestamp=args.timestamp
+                    )
+                    print(format_ingest_report(report, corpus))
+                    all_new.update(report.new_keys)
+            if args.out:
+                lines = [render_signature(k) for k in sorted(all_new)]
+                with open(args.out, "w", encoding="utf-8") as f:
+                    f.write("\n".join([f"new signatures: {len(lines)}", *lines]))
+                    f.write("\n")
+                print(f"wrote {args.out}")
+            return 0
+        corpus = TriggerCorpus.load(args.corpus)
+        if args.action == "diff":
+            if not args.checkpoints:
+                print("corpus diff needs checkpoint file(s)", file=sys.stderr)
+                return 2
+            outcomes = [
+                o for path in args.checkpoints for o in load_result(path).outcomes
+            ]
+            report = corpus.diff(outcomes)
+            text = format_diff_report(report, corpus, len(args.checkpoints))
+            print(text)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as f:
+                    f.write(text + "\n")
+            return 0
+        if args.action == "list":
+            print(format_corpus_list(corpus))
+            return 0
+        # seeds
+        if args.dir:
+            outdir = Path(args.dir)
+            outdir.mkdir(parents=True, exist_ok=True)
+            manifest = []
+            for position, seed in enumerate(corpus.seeds()):
+                name = f"seed-{position:03d}.c"
+                (outdir / name).write_text(seed.source, encoding="utf-8")
+                manifest.append(
+                    {
+                        "file": name,
+                        "signature": render_signature(seed.key),
+                        "inputs": list(seed.inputs),
+                        "origin": f"{seed.origin_label}#{seed.origin_index}",
+                    }
+                )
+            with open(outdir / "seeds.json", "w", encoding="utf-8") as f:
+                _json.dump(manifest, f, indent=2)
+                f.write("\n")
+            print(f"wrote {len(manifest)} seed(s) to {outdir}")
+        else:
+            print(format_seeds(corpus))
+        return 0
+    except (CorpusError, CampaignStoreError) as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    except OSError as e:
+        print(f"corpus: {e}", file=sys.stderr)
+        return 2
+
+
 def _cmd_show_prompt(args: argparse.Namespace) -> int:
     if args.kind == "direct":
         print(direct_prompt(Precision.DOUBLE))
@@ -428,6 +544,12 @@ def main(argv: list[str] | None = None) -> int:
         help="JSONL checkpoint file: completed programs are replayed from "
         "it, new ones appended, so an interrupted campaign continues "
         "(sharded island runs require it, with 'shard<i>' in the filename)",
+    )
+    p_run.add_argument(
+        "--corpus", default=None, metavar="CORPUS.jsonl",
+        help="replay this trigger corpus's regression seeds before the "
+        "approach's own stream — every campaign opens with a regression "
+        "sweep (default: REPRO_CORPUS_PATH; missing file = no seeds)",
     )
     p_run.add_argument(
         "--no-cache", action="store_true",
@@ -564,6 +686,12 @@ def main(argv: list[str] | None = None) -> int:
         help="chain `llm4fp triage` over each merged store",
     )
     p_serve.add_argument(
+        "--corpus", default=None, metavar="CORPUS.jsonl",
+        help="chain a trigger-corpus ingest over each merged store (after "
+        "--triage when both are given); never-seen signatures land in "
+        "DIR/corpus_new.txt (default: REPRO_CORPUS_PATH)",
+    )
+    p_serve.add_argument(
         "--heartbeat", type=float, default=None, metavar="SECONDS",
         help="checkpoint-tail poll interval "
         "(default: REPRO_FLEET_HEARTBEAT or 2.0)",
@@ -641,6 +769,55 @@ def main(argv: list[str] | None = None) -> int:
         help="write the report to PATH instead of stdout",
     )
     p_triage.set_defaults(func=_cmd_triage)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="longitudinal trigger corpus: ingest / diff / list / seeds",
+        description="Cross-campaign root-cause memory.  `ingest` folds a "
+        "campaign checkpoint's triggers into an append-only corpus keyed "
+        "by cluster signature (recording first/last-seen provenance, the "
+        "compiler-model fingerprint, and the smallest trigger as a "
+        "regression seed); `diff` reports ONLY signatures the corpus has "
+        "never seen, so nightlies stop re-announcing known root causes; "
+        "`list` summarizes every signature's lifetime; `seeds` exports "
+        "the regression seeds `llm4fp run --corpus` replays.  All output "
+        "is deterministic: same corpus + same checkpoints = same bytes.",
+    )
+    p_corpus.add_argument(
+        "action", choices=("ingest", "diff", "list", "seeds"),
+        help="ingest: fold checkpoints in (appends); diff: report "
+        "never-seen signatures (read-only); list: per-signature summary; "
+        "seeds: print or export regression seeds",
+    )
+    p_corpus.add_argument(
+        "corpus", metavar="CORPUS.jsonl",
+        help="corpus file (ingest creates it when missing; diff on a "
+        "missing corpus treats every signature as new)",
+    )
+    p_corpus.add_argument(
+        "checkpoints", nargs="*", metavar="CHECKPOINT.jsonl",
+        help="campaign checkpoint file(s) for ingest / diff",
+    )
+    p_corpus.add_argument(
+        "--label", default=None, metavar="NAME",
+        help="provenance label recorded with the ingest "
+        "(default: each checkpoint's file name)",
+    )
+    p_corpus.add_argument(
+        "--timestamp", default="", metavar="STAMP",
+        help="operator-supplied timestamp string recorded with the ingest "
+        "(default empty: corpus bytes stay content-deterministic)",
+    )
+    p_corpus.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the new-signature report to PATH (ingest/diff)",
+    )
+    p_corpus.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="seeds: write seed-NNN.c files plus a seeds.json manifest "
+        "here instead of printing",
+    )
+    p_corpus.set_defaults(func=_cmd_corpus)
 
     p_show = sub.add_parser("show-prompt", help="print one of the paper's prompts")
     p_show.add_argument("kind", choices=("direct", "grammar", "mutation"))

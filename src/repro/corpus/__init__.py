@@ -1,0 +1,56 @@
+"""Longitudinal trigger corpus: cross-campaign memory for root causes.
+
+A campaign finds triggers; ``llm4fp triage`` clusters them within one
+checkpoint set — and then forgets.  The corpus is the append-only store
+that remembers: one entry per bisection-free cluster signature
+(:func:`repro.triage.cluster.outcome_signature`), carrying when the
+signature was first and last seen, under which compiler-model
+fingerprint, and the smallest trigger program observed so far (the
+regression seed).  On top of the store sit the two longitudinal
+workflows:
+
+* ``llm4fp corpus diff`` — report ONLY signatures never seen before, so
+  a nightly run stops re-announcing known root causes;
+* :class:`CorpusReplayGenerator` — a lifecycle generator that replays
+  the stored regression seeds first, deterministically ordered and
+  shard-partitioned, before handing off to any configured approach, so
+  every campaign opens with a regression sweep.
+"""
+
+from repro.corpus.fingerprint import model_fingerprint
+from repro.corpus.replay import CorpusReplayGenerator
+from repro.corpus.report import (
+    format_corpus_list,
+    format_diff_report,
+    format_ingest_report,
+    format_seeds,
+    render_signature,
+)
+from repro.corpus.store import (
+    CorpusEntry,
+    CorpusError,
+    DiffReport,
+    IngestReport,
+    RegressionSeed,
+    TriggerCorpus,
+    parse_key,
+    signature_key,
+)
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusReplayGenerator",
+    "DiffReport",
+    "IngestReport",
+    "RegressionSeed",
+    "TriggerCorpus",
+    "format_corpus_list",
+    "format_diff_report",
+    "format_ingest_report",
+    "format_seeds",
+    "model_fingerprint",
+    "parse_key",
+    "render_signature",
+    "signature_key",
+]

@@ -1,0 +1,95 @@
+"""Deterministic text rendering for the ``llm4fp corpus`` CLI.
+
+Like :meth:`repro.triage.cluster.TriageReport.render`, every formatter
+here is byte-deterministic per input: no timestamps unless the corpus
+recorded one, no machine paths beyond what the caller passes, sorted
+iteration everywhere.  CI diffs these outputs against golden files.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.store import DiffReport, IngestReport, TriggerCorpus, parse_key
+
+__all__ = [
+    "render_signature",
+    "format_diff_report",
+    "format_ingest_report",
+    "format_corpus_list",
+    "format_seeds",
+]
+
+
+def render_signature(key: str) -> str:
+    """One human-readable line per signature: ``kinds :: cells``."""
+    kinds, cells = parse_key(key)
+    return f"{' '.join(kinds) or '-'} :: {' '.join(cells) or '-'}"
+
+
+def format_diff_report(
+    report: DiffReport, corpus: TriggerCorpus, checkpoints: int
+) -> str:
+    """The ``llm4fp corpus diff`` output: ONLY never-seen signatures.
+
+    Each new signature is listed exactly once, sorted, with its trigger
+    count; known signatures contribute a single summary count so the
+    nightly log stops re-announcing them.
+    """
+    lines = [
+        f"corpus: {corpus.path.name} — {len(corpus)} known signature(s)",
+        f"checked: {checkpoints} checkpoint(s), {report.programs} programs, "
+        f"{report.triggers} triggers, {report.distinct} distinct signature(s)",
+        f"known signatures: {len(report.known_keys)}",
+        f"new signatures: {len(report.new_keys)}",
+    ]
+    for key in report.new_keys:
+        lines.append(f"  NEW x{report.counts.get(key, 0)} {render_signature(key)}")
+    return "\n".join(lines)
+
+
+def format_ingest_report(report: IngestReport, corpus: TriggerCorpus) -> str:
+    lines = [
+        f"ingest #{report.ingest_id} into {corpus.path.name}: "
+        f"{report.label or '-'}",
+        f"  model {report.model}"
+        + (f", timestamp {report.timestamp}" if report.timestamp else ""),
+        f"  {report.programs} programs, {report.triggers} triggers, "
+        f"{report.distinct} distinct signature(s); {len(report.new_keys)} new, "
+        f"{len(report.improved_keys)} seed(s) improved; corpus now holds "
+        f"{len(corpus)}",
+    ]
+    for key in report.new_keys:
+        lines.append(f"  NEW {render_signature(key)}")
+    return "\n".join(lines)
+
+
+def format_corpus_list(corpus: TriggerCorpus) -> str:
+    """One row per signature: lifetime, count, seed size, identity."""
+    lines = [f"corpus: {corpus.path.name} — {len(corpus)} signature(s)"]
+    for entry in corpus.sorted_entries():
+        first = f"#{entry.first_ingest}"
+        if entry.first_timestamp:
+            first += f" ({entry.first_timestamp})"
+        last = f"#{entry.last_ingest}"
+        if entry.last_timestamp:
+            last += f" ({entry.last_timestamp})"
+        stale = "" if entry.last_model == entry.first_model else " model-changed"
+        lines.append(
+            f"  x{entry.count} first={first} last={last} "
+            f"seed={len(entry.seed_source)}ch{stale} "
+            f"{render_signature(entry.key)}"
+        )
+    return "\n".join(lines)
+
+
+def format_seeds(corpus: TriggerCorpus) -> str:
+    """Every regression seed, sorted by key, source inline."""
+    seeds = corpus.seeds()
+    lines = [f"corpus: {corpus.path.name} — {len(seeds)} regression seed(s)"]
+    for position, seed in enumerate(seeds):
+        lines.append(
+            f"--- seed {position}: {render_signature(seed.key)} "
+            f"[from {seed.origin_label or '-'}#{seed.origin_index}]"
+        )
+        lines.append(seed.source.rstrip("\n"))
+        lines.append(f"inputs: {seed.inputs!r}")
+    return "\n".join(lines)

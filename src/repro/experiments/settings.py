@@ -122,6 +122,13 @@ class ExperimentSettings:
     checkpoint_dir: str | None = field(
         default_factory=lambda: os.environ.get("REPRO_CHECKPOINT_DIR") or None
     )
+    #: longitudinal trigger corpus (``REPRO_CORPUS_PATH``); when set,
+    #: ``llm4fp run`` opens every campaign with a corpus-replay
+    #: regression sweep and ``llm4fp serve`` chains a corpus ingest
+    #: after auto-merge.  Unset = no cross-campaign memory.
+    corpus_path: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_CORPUS_PATH") or None
+    )
     #: ``llm4fp serve``: concurrent shard workers (``REPRO_FLEET_WORKERS``)
     fleet_workers: int = field(
         default_factory=lambda: _env_int("REPRO_FLEET_WORKERS", 2)
@@ -193,6 +200,7 @@ ENV_KNOBS: dict[str, str] = {
     "islands": "REPRO_ISLANDS",
     "merge_every": "REPRO_MERGE_EVERY",
     "checkpoint_dir": "REPRO_CHECKPOINT_DIR",
+    "corpus_path": "REPRO_CORPUS_PATH",
     "fleet_workers": "REPRO_FLEET_WORKERS",
     "fleet_heartbeat": "REPRO_FLEET_HEARTBEAT",
     "fleet_stall_timeout": "REPRO_FLEET_STALL",

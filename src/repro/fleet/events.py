@@ -36,6 +36,7 @@ EVENT_KINDS = (
     "shard-failed",  # retries exhausted; shard abandoned incomplete
     "merge",         # shard checkpoints spliced into the merged store
     "triage",        # chained triage ran over the merged store
+    "corpus",        # chained corpus ingest ran over the merged store
     "fleet-done",    # final verdict: ok or partial
 )
 

@@ -84,12 +84,16 @@ async def drain_queue(
     config: FleetConfig | None = None,
     target: WorkerTarget | None = None,
     chain_triage: bool = False,
+    corpus_path: str | Path | None = None,
 ) -> list[FleetResult]:
     """Supervise every job in the queue file; returns results in order.
 
     A partial verdict on one job does not stop the queue — later jobs
     still run, and the caller inspects each result's ``status`` (the
-    CLI exits non-zero if *any* job settled partial).
+    CLI exits non-zero if *any* job settled partial).  ``corpus_path``
+    names one longitudinal corpus shared by every job: campaigns ingest
+    in queue order, so the second job's diff already knows the first
+    job's findings.
     """
     workdir = Path(workdir)
     results: list[FleetResult] = []
@@ -101,6 +105,7 @@ async def drain_queue(
             config=config,
             target=target,
             chain_triage=chain_triage,
+            corpus_path=corpus_path,
         )
         results.append(await supervisor.run())
     return results

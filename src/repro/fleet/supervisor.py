@@ -202,6 +202,7 @@ class FleetResult:
     events_path: Path
     merged_path: Path | None = None
     triage_path: Path | None = None
+    corpus_report_path: Path | None = None
     status: str = "partial"  # "ok" | "partial"
 
     @property
@@ -232,6 +233,7 @@ class FleetSupervisor:
         config: FleetConfig | None = None,
         target: WorkerTarget | None = None,
         chain_triage: bool = False,
+        corpus_path: str | Path | None = None,
         clock: Callable[[], float] | None = None,
     ) -> None:
         if shard_count < 1:
@@ -242,6 +244,7 @@ class FleetSupervisor:
         self.config = config or FleetConfig()
         self.target = target or LocalProcessTarget()
         self.chain_triage = chain_triage
+        self.corpus_path = Path(corpus_path) if corpus_path else None
         self._clock = clock if clock is not None else time.monotonic
         self.events = FleetEventLog(
             self.workdir / "fleet_events.jsonl", clock=self._clock
@@ -291,6 +294,10 @@ class FleetSupervisor:
             result.status = "ok"
             if self.chain_triage:
                 result.triage_path = await self._run_triage(result.merged_path)
+            if self.corpus_path is not None:
+                result.corpus_report_path = await self._run_corpus(
+                    result.merged_path
+                )
         self.events.emit(
             "fleet-done",
             status=result.status,
@@ -442,6 +449,40 @@ class FleetSupervisor:
         )
         return report_path if code == 0 else None
 
+    async def _run_corpus(self, merged_path: Path) -> Path | None:
+        """Chain ``llm4fp corpus ingest`` over the merged store.
+
+        Folds the campaign's triggers into the longitudinal corpus and
+        leaves the never-seen signatures in ``corpus_new.txt`` — the
+        fleet's "what did tonight actually find" artifact.  Best-effort
+        like triage: a failure is recorded, never fatal to the verdict.
+        """
+        report_path = self.workdir / "corpus_new.txt"
+        argv = [
+            worker_python(),
+            "-m",
+            "repro.cli",
+            "corpus",
+            "ingest",
+            str(self.corpus_path),
+            str(merged_path),
+            "--label",
+            self.spec.name or self.spec.approach,
+            "--out",
+            str(report_path),
+        ]
+        handle = await self.target.launch(
+            argv, self.workdir / "logs" / "corpus.log"
+        )
+        code = await handle.wait()
+        self.events.emit(
+            "corpus",
+            exit_code=code,
+            corpus=str(self.corpus_path),
+            report=str(report_path) if code == 0 else None,
+        )
+        return report_path if code == 0 else None
+
 
 def run_fleet(
     spec: CampaignSpec,
@@ -450,6 +491,7 @@ def run_fleet(
     config: FleetConfig | None = None,
     target: WorkerTarget | None = None,
     chain_triage: bool = False,
+    corpus_path: str | Path | None = None,
 ) -> FleetResult:
     """Synchronous front door: supervise one campaign to its verdict.
 
@@ -464,6 +506,7 @@ def run_fleet(
         config=config,
         target=target,
         chain_triage=chain_triage,
+        corpus_path=corpus_path,
     )
     return asyncio.run(supervisor.run())
 
@@ -486,5 +529,7 @@ def format_fleet_summary(result: FleetResult) -> str:
         lines.append(f"merged:      {result.merged_path}")
     if result.triage_path is not None:
         lines.append(f"triage:      {result.triage_path}")
+    if result.corpus_report_path is not None:
+        lines.append(f"corpus new:  {result.corpus_report_path}")
     lines.append(f"events:      {result.events_path}")
     return "\n".join(lines)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
@@ -118,26 +117,23 @@ class ProgramGenerator(Protocol):
 def generator_capabilities(generator: Any) -> GeneratorCapabilities:
     """The declared :class:`GeneratorCapabilities` of ``generator``.
 
-    Generators predating the lifecycle protocol carry no ``capabilities``
-    field; for those the deprecated ``use_feedback`` attribute is probed
-    one last release (with a :class:`DeprecationWarning`), and generators
-    declaring neither are treated as feedback-free and shardable — the
-    semantics every 2-method generator had.
+    A bare ``use_feedback`` attribute without a ``capabilities``
+    declaration is a hard error: the attribute-probe bridge lasted one
+    release (behind a :class:`DeprecationWarning`) and silently guessing
+    sharding semantics from it is how feedback campaigns end up
+    classically sharded.  Generators declaring neither are treated as
+    feedback-free and shardable — the semantics every 2-method
+    generator had.
     """
     caps = getattr(generator, "capabilities", None)
     if isinstance(caps, GeneratorCapabilities):
         return caps
     if hasattr(generator, "use_feedback"):
-        warnings.warn(
+        raise TypeError(
             f"generator {getattr(generator, 'name', generator)!r} declares "
-            "use_feedback but no capabilities field; the use_feedback probe "
-            "is deprecated — declare "
-            "capabilities = GeneratorCapabilities(feedback=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return GeneratorCapabilities(
-            feedback=bool(generator.use_feedback), shardable=not generator.use_feedback
+            "use_feedback but no capabilities field; the use_feedback "
+            "probe was removed — declare "
+            "capabilities = GeneratorCapabilities(feedback=...) instead"
         )
     return GeneratorCapabilities(feedback=False, shardable=True)
 

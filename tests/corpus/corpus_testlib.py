@@ -1,0 +1,88 @@
+"""Builders for corpus tests: outcomes with controllable signatures.
+
+The corpus keys on the bisection-free cluster signature
+(:func:`repro.triage.cluster.outcome_signature`): the sorted
+inconsistency kinds plus the divergent-cell pattern.  A structural tag
+on an inconsistent comparison becomes the kind verbatim, so these
+builders pin both halves of the signature from the call site:
+``trigger_outcome(tag="t-a")`` and ``trigger_outcome(tag="t-b")`` land
+in different clusters, same ``tag``/``pair``/``level`` land in the same
+one.
+"""
+
+from repro.corpus import signature_key
+from repro.difftest.record import ComparisonRecord, ProgramOutcome
+from repro.generation.program import GeneratedProgram
+from repro.toolchains import OptLevel
+
+
+def trigger_outcome(
+    index=0,
+    *,
+    tag="vector-reduction",
+    pair=("gcc", "clang"),
+    level=OptLevel.O3,
+    source=None,
+    inputs=(1.5, -0.0),
+):
+    """A triggering outcome with signature ``((tag,), (a-b@level,))``."""
+    a, b = pair
+    if source is None:
+        source = f"void compute(double x) {{ /* {tag} @ {level} */ }}"
+    return ProgramOutcome(
+        index=index,
+        program=GeneratedProgram(
+            source=source, inputs=tuple(inputs), meta={"strategy": "test"}
+        ),
+        triggered=True,
+        compiled={f"{a}/{level}": True, f"{b}/{level}": True},
+        ran={f"{a}/{level}": True, f"{b}/{level}": True},
+        comparisons=[
+            ComparisonRecord(
+                index, a, b, level, False,
+                value_a=1.0, value_b=2.0, digit_diff=3, tag=tag,
+            )
+        ],
+    )
+
+
+def quiet_outcome(index=0):
+    """A non-triggering outcome (counts as a program, never a trigger)."""
+    return ProgramOutcome(
+        index=index,
+        program=GeneratedProgram(
+            source="void compute(double x) { printf(\"%.17g\\n\", x); }",
+            inputs=(0.5,),
+        ),
+        triggered=False,
+    )
+
+
+def write_checkpoint(path, outcomes, budget=None):
+    """A real on-disk campaign checkpoint holding ``outcomes``."""
+    from repro.difftest.store import CampaignStore
+
+    store = CampaignStore(path)
+    store.open(
+        {
+            "approach": "t",
+            "budget": budget if budget is not None else len(outcomes),
+            "levels": ["O0"],
+            "compilers": ["gcc", "nvcc"],
+            "seed": 1,
+            "max_steps": 10,
+            "shard_index": 0,
+            "shard_count": 1,
+        }
+    )
+    for outcome in outcomes:
+        store.append(outcome)
+    return path
+
+
+def key_of(outcome):
+    """The corpus key the builders above produce."""
+    from repro.triage.cluster import outcome_signature
+
+    kinds, cells = outcome_signature(outcome)
+    return signature_key(kinds, cells)

@@ -1,0 +1,113 @@
+"""Shared checkpoint fixtures for the difftest test tree.
+
+One canonical awkward outcome (NaN, infinities, signed zero, int
+scalars, float arrays, sentinel ``None``), one canonical campaign
+header, and one synthesized-legacy checkpoint factory covering every
+historical on-disk format — so store round-trip tests, resume tests,
+and corpus ingest-from-legacy tests all exercise the same bytes.
+"""
+
+import json
+
+from repro.difftest.record import ComparisonRecord, ProgramOutcome
+from repro.difftest.store import encode_outcome
+from repro.fp.bits import double_to_bits
+from repro.generation.program import GeneratedProgram
+from repro.toolchains import OptLevel
+
+#: The canonical single-shard campaign identity used by checkpoint tests.
+HEADER = {
+    "approach": "t",
+    "budget": 2,
+    "levels": ["O0"],
+    "compilers": ["gcc", "nvcc"],
+    "seed": 1,
+    "max_steps": 10,
+    "shard_index": 0,
+    "shard_count": 1,
+}
+
+
+def _bits(v):
+    return None if v is None else double_to_bits(v)
+
+
+def outcome_bits(o):
+    """Every float observable as raw bits (NaN- and signed-zero-safe)."""
+    return (
+        o.index,
+        o.program.source,
+        tuple(
+            tuple(_bits(x) for x in v) if isinstance(v, tuple) else (type(v), _bits(float(v)))
+            for v in o.program.inputs
+        ),
+        o.program.meta,
+        o.compiled,
+        o.ran,
+        o.signatures,
+        {k: _bits(v) for k, v in o.values.items()},
+        [
+            (c.program_index, c.compiler_a, c.compiler_b, c.level,
+             c.consistent, _bits(c.value_a), _bits(c.value_b), c.digit_diff,
+             c.tag)
+            for c in o.comparisons
+        ],
+        o.triggered,
+    )
+
+
+def make_outcome(index=3):
+    """An outcome exercising the awkward encodings: NaN, infinities,
+    signed zero, int scalars, float arrays, sentinel None values."""
+    program = GeneratedProgram(
+        source='void compute(double a) { printf("%.17g\\n", a); }',
+        inputs=(1.5, -0.0, 7, (0.1, float("inf"), -2.5e-308)),
+        meta={"strategy": "grammar", "index": index},
+    )
+    return ProgramOutcome(
+        index=index,
+        program=program,
+        compiled={"gcc/O0": True, "nvcc/O3": False},
+        ran={"gcc/O0": True},
+        triggered=True,
+        signatures={"gcc/O0": "7ff8000000000000"},
+        values={"gcc/O0": float("nan"), "clang/O2": -0.0},
+        comparisons=[
+            ComparisonRecord(index, "gcc", "clang", OptLevel.O2, True),
+            ComparisonRecord(
+                index, "gcc", "nvcc", OptLevel.O3_FASTMATH, False,
+                value_a=float("-inf"), value_b=float("nan"), digit_diff=13,
+                tag="vector-reduction",
+            ),
+            ComparisonRecord(
+                index, "clang", "nvcc", OptLevel.O0, False,
+                value_a=None, value_b=1.0, digit_diff=0,
+            ),
+        ],
+    )
+
+
+def write_legacy_checkpoint(path, version, *, budget=2, shard=(0, 1)):
+    """Synthesize a pre-current checkpoint exactly as old nightlies wrote
+    them: v1 rows lack the comparison ``tag`` field, and every header
+    before v4 lacks the island fields.  ``shard`` writes the partition's
+    owned indices only, so a complete legacy shard set is two calls.
+    """
+    header = {
+        "kind": "campaign",
+        "version": version,
+        **HEADER,
+        "budget": budget,
+        "shard_index": shard[0],
+        "shard_count": shard[1],
+    }
+    assert "islands" not in header  # the pre-island header shape is the point
+    lines = [json.dumps(header, separators=(",", ":"))]
+    for index in range(shard[0], budget, shard[1]):
+        record = encode_outcome(make_outcome(index))
+        if version < 2:
+            for comparison in record["comparisons"]:
+                del comparison["tag"]
+        lines.append(json.dumps(record, separators=(",", ":")))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,60 @@
+"""Corpus ingest over synthesized legacy checkpoints: the longitudinal
+memory must read every on-disk format the store itself can read."""
+
+import pytest
+
+from conftest import write_legacy_checkpoint
+from repro.corpus import CorpusError, TriggerCorpus, parse_key, signature_key
+from repro.difftest.store import CampaignStoreError, load_result
+from repro.triage.cluster import outcome_signature
+
+
+@pytest.mark.parametrize("version", [1, 2, 3])
+def test_legacy_checkpoints_ingest(tmp_path, version):
+    path = tmp_path / f"v{version}.jsonl"
+    write_legacy_checkpoint(path, version=version)
+    with TriggerCorpus(tmp_path / "corpus.jsonl") as corpus:
+        report = corpus.ingest(load_result(path), f"v{version}")
+    assert report.programs == 2 and report.triggers == 2
+    assert len(report.new_keys) >= 1
+
+
+def test_v1_and_v3_of_the_same_campaign_share_signatures(tmp_path):
+    # v1 rows lose their tags, so the structural kind differs from v3's;
+    # the *cells* are identical — only kinds distinguish the keys.
+    v1, v3 = tmp_path / "v1.jsonl", tmp_path / "v3.jsonl"
+    write_legacy_checkpoint(v1, version=1)
+    write_legacy_checkpoint(v3, version=3)
+    keys = {}
+    for name, path in [("v1", v1), ("v3", v3)]:
+        keys[name] = {
+            signature_key(*outcome_signature(o))
+            for o in load_result(path).outcomes
+            if o.triggered
+        }
+    cells = {k: {parse_key(key)[1] for key in v} for k, v in keys.items()}
+    assert cells["v1"] == cells["v3"]
+
+
+def test_legacy_shard_set_ingests_like_the_whole_campaign(tmp_path):
+    whole = tmp_path / "whole.jsonl"
+    write_legacy_checkpoint(whole, version=3)
+    shard_paths = []
+    for i in range(2):
+        p = tmp_path / f"shard{i}.jsonl"
+        write_legacy_checkpoint(p, version=3, shard=(i, 2))
+        shard_paths.append(p)
+    with TriggerCorpus(tmp_path / "a.jsonl") as corpus:
+        corpus.ingest(load_result(whole).outcomes, "run")
+    with TriggerCorpus(tmp_path / "b.jsonl") as corpus:
+        corpus.ingest(
+            [o for p in shard_paths for o in load_result(p).outcomes], "run"
+        )
+    assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+
+
+def test_unknown_checkpoint_version_surfaces_as_store_error(tmp_path):
+    path = tmp_path / "v99.jsonl"
+    write_legacy_checkpoint(path, version=99)
+    with pytest.raises((CampaignStoreError, CorpusError), match="unsupported"):
+        load_result(path)

@@ -8,7 +8,6 @@ import pytest
 
 from repro.difftest.config import CampaignConfig
 from repro.difftest.engine import CampaignEngine, EngineConfig
-from repro.difftest.record import ComparisonRecord, ProgramOutcome
 from repro.difftest.store import (
     CampaignStore,
     CampaignStoreError,
@@ -20,71 +19,13 @@ from repro.difftest.store import (
     tail_outcomes,
 )
 from repro.experiments.approaches import make_generator
-from repro.fp.bits import double_to_bits
-from repro.generation.program import GeneratedProgram
 from repro.toolchains import GccCompiler, NvccCompiler, OptLevel, default_compilers
 from repro.utils.rng import SplittableRng
 
+from conftest import HEADER, make_outcome, outcome_bits, write_legacy_checkpoint
 from test_engine import result_key
 
-
-def _bits(v):
-    return None if v is None else double_to_bits(v)
-
-
-def _outcome_bits(o):
-    """Every float observable as raw bits (NaN- and signed-zero-safe)."""
-    return (
-        o.index,
-        o.program.source,
-        tuple(
-            tuple(_bits(x) for x in v) if isinstance(v, tuple) else (type(v), _bits(float(v)))
-            for v in o.program.inputs
-        ),
-        o.program.meta,
-        o.compiled,
-        o.ran,
-        o.signatures,
-        {k: _bits(v) for k, v in o.values.items()},
-        [
-            (c.program_index, c.compiler_a, c.compiler_b, c.level,
-             c.consistent, _bits(c.value_a), _bits(c.value_b), c.digit_diff,
-             c.tag)
-            for c in o.comparisons
-        ],
-        o.triggered,
-    )
-
-
-def make_outcome(index=3):
-    """An outcome exercising the awkward encodings: NaN, infinities,
-    signed zero, int scalars, float arrays, sentinel None values."""
-    program = GeneratedProgram(
-        source='void compute(double a) { printf("%.17g\\n", a); }',
-        inputs=(1.5, -0.0, 7, (0.1, float("inf"), -2.5e-308)),
-        meta={"strategy": "grammar", "index": index},
-    )
-    return ProgramOutcome(
-        index=index,
-        program=program,
-        compiled={"gcc/O0": True, "nvcc/O3": False},
-        ran={"gcc/O0": True},
-        triggered=True,
-        signatures={"gcc/O0": "7ff8000000000000"},
-        values={"gcc/O0": float("nan"), "clang/O2": -0.0},
-        comparisons=[
-            ComparisonRecord(index, "gcc", "clang", OptLevel.O2, True),
-            ComparisonRecord(
-                index, "gcc", "nvcc", OptLevel.O3_FASTMATH, False,
-                value_a=float("-inf"), value_b=float("nan"), digit_diff=13,
-                tag="vector-reduction",
-            ),
-            ComparisonRecord(
-                index, "clang", "nvcc", OptLevel.O0, False,
-                value_a=None, value_b=1.0, digit_diff=0,
-            ),
-        ],
-    )
+_outcome_bits = outcome_bits
 
 
 class TestRoundTrip:
@@ -109,18 +50,6 @@ class TestRoundTrip:
         decoded = decode_outcome(encode_outcome(make_outcome()))
         assert math.copysign(1.0, decoded.values["clang/O2"]) == -1.0
         assert math.isnan(decoded.values["gcc/O0"])
-
-
-HEADER = {
-    "approach": "t",
-    "budget": 2,
-    "levels": ["O0"],
-    "compilers": ["gcc", "nvcc"],
-    "seed": 1,
-    "max_steps": 10,
-    "shard_index": 0,
-    "shard_count": 1,
-}
 
 
 class TestStoreFile:
@@ -435,26 +364,12 @@ class TestMergeShardStores:
         assert "programs:             6" in out
 
 
-def write_legacy_file(path, version, budget=2):
-    """Synthesize a pre-masked-tier checkpoint: an old header version and
-    outcome rows without the ``tag`` field (v1) exactly as PR-3-era
-    nightlies wrote them."""
-    header = {"kind": "campaign", "version": version, **HEADER, "budget": budget}
-    lines = [json.dumps(header, separators=(",", ":"))]
-    for index in range(budget):
-        record = encode_outcome(make_outcome(index))
-        for comparison in record["comparisons"]:
-            del comparison["tag"]
-        lines.append(json.dumps(record, separators=(",", ":")))
-    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-
-
 class TestLegacyVersions:
     """Read-side compat: v1/v2 nightly checkpoints stay usable."""
 
     def test_v1_file_loads_with_none_tags(self, tmp_path):
         path = tmp_path / "v1.jsonl"
-        write_legacy_file(path, version=1)
+        write_legacy_checkpoint(path, version=1)
         result = load_result(path)
         assert len(result.outcomes) == 2
         comparisons = result.outcomes[0].comparisons
@@ -464,17 +379,14 @@ class TestLegacyVersions:
 
     def test_v2_file_loads(self, tmp_path):
         path = tmp_path / "v2.jsonl"
-        header = {"kind": "campaign", "version": 2, **HEADER}
-        lines = [json.dumps(header)]
-        lines += [json.dumps(encode_outcome(make_outcome(i))) for i in range(2)]
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        write_legacy_checkpoint(path, version=2)
         result = load_result(path)
         assert [o.index for o in result.outcomes] == [0, 1]
         assert result.outcomes[0].comparisons[1].tag == "vector-reduction"
 
     def test_unknown_version_rejected(self, tmp_path):
         path = tmp_path / "v99.jsonl"
-        write_legacy_file(path, version=99)
+        write_legacy_checkpoint(path, version=99)
         with pytest.raises(CampaignStoreError, match="unsupported checkpoint"):
             load_result(path)
 
@@ -482,7 +394,7 @@ class TestLegacyVersions:
         # --resume pointed at an old-version checkpoint of the *same*
         # campaign replays its rows instead of rejecting the file.
         path = tmp_path / "v1.jsonl"
-        write_legacy_file(path, version=1)
+        write_legacy_checkpoint(path, version=1)
         done = CampaignStore(path).open(HEADER)
         assert sorted(done) == [0, 1]
         assert all(c.tag is None for c in done[0].comparisons)
@@ -495,7 +407,7 @@ class TestLegacyVersions:
         from repro.difftest.store import _FORMAT_VERSION
 
         path = tmp_path / "v1.jsonl"
-        write_legacy_file(path, version=1)
+        write_legacy_checkpoint(path, version=1)
         old_records = path.read_bytes().partition(b"\n")[2]
         CampaignStore(path).open(HEADER)
         header = json.loads(path.read_text().splitlines()[0])
@@ -506,13 +418,13 @@ class TestLegacyVersions:
 
     def test_resume_rejects_legacy_header_of_other_campaign(self, tmp_path):
         path = tmp_path / "v1.jsonl"
-        write_legacy_file(path, version=1)
+        write_legacy_checkpoint(path, version=1)
         with pytest.raises(CampaignStoreError, match="different campaign"):
             CampaignStore(path).open(dict(HEADER, seed=42))
 
     def test_resume_rejects_unknown_version(self, tmp_path):
         path = tmp_path / "v99.jsonl"
-        write_legacy_file(path, version=99)
+        write_legacy_checkpoint(path, version=99)
         with pytest.raises(CampaignStoreError, match="different campaign"):
             CampaignStore(path).open(HEADER)
 
@@ -520,7 +432,7 @@ class TestLegacyVersions:
         from repro.difftest.store import load_triggers
 
         path = tmp_path / "v1.jsonl"
-        write_legacy_file(path, version=1)
+        write_legacy_checkpoint(path, version=1)
         triggers = load_triggers(path)
         assert [o.index for o in triggers] == [0, 1]
 
@@ -637,29 +549,11 @@ class TestV3Legacy:
     """v3 checkpoints predate the island fields: their headers imply
     ``islands=0, merge_every=0`` and stay resumable/mergeable."""
 
-    def _write_v3(self, path, shard=(0, 1), budget=2):
-        header = {
-            "kind": "campaign",
-            "version": 3,
-            **HEADER,
-            "budget": budget,
-            "shard_index": shard[0],
-            "shard_count": shard[1],
-        }
-        assert "islands" not in header  # the point of the fixture
-        indices = range(shard[0], budget, shard[1])
-        lines = [json.dumps(header, separators=(",", ":"))]
-        lines += [
-            json.dumps(encode_outcome(make_outcome(i)), separators=(",", ":"))
-            for i in indices
-        ]
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-
     def test_v3_resumes_as_an_island_free_campaign(self, tmp_path):
         from repro.difftest.store import _FORMAT_VERSION
 
         path = tmp_path / "v3.jsonl"
-        self._write_v3(path)
+        write_legacy_checkpoint(path, version=3)
         done = CampaignStore(path).open(dict(HEADER, islands=0, merge_every=0))
         assert sorted(done) == [0, 1]
         header = json.loads(path.read_text().splitlines()[0])
@@ -667,13 +561,13 @@ class TestV3Legacy:
 
     def test_v3_rejected_for_an_island_campaign(self, tmp_path):
         path = tmp_path / "v3.jsonl"
-        self._write_v3(path)
+        write_legacy_checkpoint(path, version=3)
         with pytest.raises(CampaignStoreError, match="mismatched: islands"):
             CampaignStore(path).open(dict(HEADER, islands=2, merge_every=5))
 
     def test_v3_loads_for_triage(self, tmp_path):
         path = tmp_path / "v3.jsonl"
-        self._write_v3(path)
+        write_legacy_checkpoint(path, version=3)
         result = load_result(path)
         assert [o.index for o in result.outcomes] == [0, 1]
         assert result.outcomes[0].comparisons[1].tag == "vector-reduction"
@@ -682,7 +576,7 @@ class TestV3Legacy:
         paths = []
         for i in range(2):
             path = tmp_path / f"v3-shard{i}.jsonl"
-            self._write_v3(path, shard=(i, 2))
+            write_legacy_checkpoint(path, version=3, shard=(i, 2))
             paths.append(path)
         out = merge_shard_stores(paths, tmp_path / "merged.jsonl")
         merged = load_result(out)

@@ -62,3 +62,19 @@ class TestFleetKnobs:
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ExperimentSettings(**kwargs)
+
+
+class TestCorpusKnob:
+    def test_default_is_no_corpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CORPUS_PATH", raising=False)
+        assert ExperimentSettings().corpus_path is None
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_PATH", "/data/corpus.jsonl")
+        assert ExperimentSettings().corpus_path == "/data/corpus.jsonl"
+
+    def test_empty_string_means_off(self, monkeypatch):
+        # unsetting the knob with REPRO_CORPUS_PATH="" must not leave a
+        # truthy empty path that every campaign then tries to open
+        monkeypatch.setenv("REPRO_CORPUS_PATH", "")
+        assert ExperimentSettings().corpus_path is None

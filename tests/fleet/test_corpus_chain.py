@@ -1,0 +1,83 @@
+"""Fleet → corpus chaining: ``llm4fp serve --corpus`` ingests every
+merged store into the longitudinal corpus after auto-merge."""
+
+from repro.cli import main as cli_main
+from repro.corpus import TriggerCorpus
+from repro.fleet.events import read_events
+from repro.fleet.supervisor import CampaignSpec, FleetConfig, run_fleet
+
+# varity budget 12 / seed 3 reliably produces 3 distinct signatures
+SPEC = dict(approach="varity", budget=12, seed=3)
+
+
+def fast_config(**overrides):
+    defaults = dict(workers=2, heartbeat=0.05, stall_timeout=60.0, backoff=0.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestFleetCorpusChain:
+    def test_fleet_ingests_merged_store_into_the_corpus(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        result = run_fleet(
+            CampaignSpec(**SPEC),
+            shard_count=2,
+            workdir=tmp_path / "fleet",
+            config=fast_config(),
+            corpus_path=corpus,
+        )
+        assert result.ok
+        assert result.corpus_report_path is not None
+        assert result.corpus_report_path.exists()
+        report = result.corpus_report_path.read_text()
+        assert report.startswith("new signatures: 3")
+        assert len(TriggerCorpus.load(corpus)) == 3
+        kinds = [e["event"] for e in read_events(result.events_path)]
+        assert "corpus" in kinds
+        corpus_event = next(
+            e for e in read_events(result.events_path) if e["event"] == "corpus"
+        )
+        assert corpus_event["exit_code"] == 0
+
+    def test_second_fleet_of_same_campaign_adds_nothing(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        for generation in range(2):
+            result = run_fleet(
+                CampaignSpec(**SPEC),
+                shard_count=2,
+                workdir=tmp_path / f"fleet{generation}",
+                config=fast_config(),
+                corpus_path=corpus,
+            )
+            assert result.ok and result.corpus_report_path is not None
+        assert result.corpus_report_path.read_text().startswith(
+            "new signatures: 0"
+        )
+        assert len(TriggerCorpus.load(corpus)) == 3
+
+    def test_fleet_without_corpus_skips_the_chain(self, tmp_path):
+        result = run_fleet(
+            CampaignSpec(approach="loops", budget=4, seed=2),
+            shard_count=2,
+            workdir=tmp_path / "fleet",
+            config=fast_config(),
+        )
+        assert result.ok
+        assert result.corpus_report_path is None
+        kinds = [e["event"] for e in read_events(result.events_path)]
+        assert "corpus" not in kinds
+
+
+class TestServeCliCorpus:
+    def test_serve_corpus_flag_reaches_the_summary(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        code = cli_main([
+            "serve", "--dir", str(tmp_path / "fleet"), "--shards", "2",
+            "--workers", "2", "--approach", "varity", "--budget", "12",
+            "--seed", "3", "--heartbeat", "0.05", "--corpus", str(corpus),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corpus new:" in out
+        assert corpus.exists()
+        assert len(TriggerCorpus.load(corpus)) == 3

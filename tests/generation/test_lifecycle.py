@@ -1,6 +1,6 @@
 """The generator lifecycle protocol: declared capabilities, bind
-partitioning, export/import state round-trips, and the deprecation
-bridge for pre-lifecycle generators."""
+partitioning, export/import state round-trips, and the hard error that
+replaced the pre-lifecycle ``use_feedback`` deprecation bridge."""
 
 import json
 import warnings
@@ -63,21 +63,35 @@ class TestCapabilities:
             warnings.simplefilter("error", DeprecationWarning)
             generator_capabilities(_generator(approach))
 
-    def test_use_feedback_probe_is_deprecated(self):
+    def test_use_feedback_probe_is_a_hard_error(self):
+        # The PR-8 attribute-probe bridge lasted exactly one release;
+        # a bare use_feedback now names the migration instead of guessing
+        # sharding semantics from it.
         class Legacy:
             name = "legacy"
             use_feedback = True
 
-        with pytest.warns(DeprecationWarning, match="use_feedback"):
-            caps = generator_capabilities(Legacy())
-        assert caps.feedback and not caps.shardable
+        with pytest.raises(TypeError, match="use_feedback"):
+            generator_capabilities(Legacy())
 
         class LegacyOff:
             use_feedback = False
 
-        with pytest.warns(DeprecationWarning):
-            caps = generator_capabilities(LegacyOff())
-        assert not caps.feedback and caps.shardable
+        # The value never mattered for the error: the *declaration style*
+        # is what's gone, so False trips the same migration message.
+        with pytest.raises(TypeError, match="capabilities"):
+            generator_capabilities(LegacyOff())
+
+    def test_capabilities_declaration_beats_use_feedback_attribute(self):
+        # A generator that declares capabilities may keep a use_feedback
+        # attribute for its own bookkeeping (LLMProgramGenerator does) —
+        # the declaration wins and no error is raised.
+        class Declared:
+            name = "declared"
+            use_feedback = True
+            capabilities = GeneratorCapabilities(feedback=True, shardable=True)
+
+        assert generator_capabilities(Declared()).feedback
 
     def test_undeclared_generator_defaults_to_feedback_free(self):
         with warnings.catch_warnings():
