@@ -46,6 +46,18 @@ campaign each kernel runs once, so there the tape roughly breaks even;
 ``execute_stage_share`` records how little of campaign wall-clock the
 execute stage is (the Amdahl context for any engine-level expectation).
 
+A full-tier leg (schema 7) tracks the divergence-tier registry's
+coverage and cost: the loops workload regenerated with the full
+profile's tier shares (libm-call, mixed-precision and integer-guarded
+loops) through ``default_compilers(tiers="full")``.
+``tiers_throughput`` is its absolute cost (warn-only — the full
+pipelines carry extra vectorizer work and the vec-libm environments);
+``tier_tag_floor`` is the *minimum* count across the three new
+structural tags (``vec-libm``, ``mixed-precision``,
+``masked-int-guard``) — the benchmark asserts it is nonzero (every new
+tier engages), and the regression gate tracks it warn-only so a
+generator or policy change that quietly starves a tier is visible.
+
 A corpus-replay leg (schema 6) tracks the cost of the longitudinal
 regression prelude: the substrate workload's triggers are ingested into
 a scratch :class:`~repro.corpus.TriggerCorpus` and the same campaign is
@@ -125,6 +137,15 @@ ISLAND_CONFIG = EngineConfig(
     islands=_ISLANDS, merge_every=_ISLAND_MERGE_EVERY, exec_mode="tree",
 )
 
+#: full-tier leg: enough loops programs that every new tier's tag
+#: appears (the vec-libm tier only engages at O3_fastmath, where
+#: fast-math reassociation suppresses many candidates, so it needs the
+#: largest sample)
+_TIERS_BUDGET = 60
+
+#: the three structural tags the full profile adds over baseline
+_NEW_TIER_TAGS = ("vec-libm", "mixed-precision", "masked-int-guard")
+
 #: input sets per kernel in the batched-execution microbench: the regime
 #: the tape compiler exists for (reduction candidate matrices, repeated
 #: difftest inputs), where one compile serves the whole batch
@@ -161,9 +182,15 @@ def _loops_workload(budget: int = _LOOPS_BUDGET):
     return [generator.generate() for _ in range(budget)]
 
 
-def _run(programs, engine_config):
+def _tiers_workload(budget: int = _TIERS_BUDGET):
+    rng = SplittableRng(_SEED, "bench-engine-tiers")
+    generator = make_generator("loops", rng, tiers="full")
+    return [generator.generate() for _ in range(budget)]
+
+
+def _run(programs, engine_config, compilers=None):
     engine = CampaignEngine(
-        default_compilers(),
+        default_compilers() if compilers is None else compilers,
         CampaignConfig(budget=len(programs)),
         engine_config,
     )
@@ -358,9 +385,25 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
     corpus_replay = _corpus_replay_bench(
         programs, shared["thread"], configs["thread"]["seconds"]
     )
+    # Full-tier leg: the loops generator's tier workloads through the
+    # full-profile pipelines and environments.  The floor across the
+    # three new tags is the coverage witness: zero means a tier the
+    # profile promises never engaged.
+    tiers_programs = _tiers_workload()
+    tiers_result, tiers_seconds = _run(
+        tiers_programs, CONFIGS["thread"], default_compilers(tiers="full")
+    )
+    tier_tag_counts: dict = {}
+    for o in tiers_result.outcomes:
+        for c in o.comparisons:
+            if not c.consistent and c.tag:
+                tier_tag_counts[c.tag] = tier_tag_counts.get(c.tag, 0) + 1
+    tier_tag_floor = min(
+        tier_tag_counts.get(tag, 0) for tag in _NEW_TIER_TAGS
+    )
     stage_seconds = shared["thread"].stage_seconds
     return {
-        "schema": 6,
+        "schema": 7,
         "budget": budget,
         "cpu_count": os.cpu_count() or 1,
         "configs": configs,
@@ -390,6 +433,10 @@ def measure(budget: int = _BUDGET, loops_budget: int = _LOOPS_BUDGET) -> dict:
         ),
         "corpus_replay_overhead": corpus_replay["overhead"],
         "corpus_replay_bench": corpus_replay,
+        "tiers_budget": _TIERS_BUDGET,
+        "tiers_throughput": _TIERS_BUDGET / tiers_seconds,
+        "tier_tag_counts": dict(sorted(tier_tag_counts.items())),
+        "tier_tag_floor": tier_tag_floor,
     }
 
 
@@ -431,6 +478,10 @@ def render(m: dict) -> str:
         f"{m['corpus_replay_bench']['throughput']:7.1f} programs/s  "
         f"({m['corpus_replay_overhead']:.2f}x of bare campaign, "
         f"{m['corpus_replay_bench']['retriggered']} re-triggered)",
+        f"  full tier profile ({m['tiers_budget']} programs): "
+        f"{m['tiers_throughput']:7.1f} programs/s, tags "
+        + " ".join(f"{k}={v}" for k, v in m["tier_tag_counts"].items())
+        + f" (new-tag floor: {m['tier_tag_floor']})",
     ]
     return "\n".join(lines)
 
@@ -472,6 +523,17 @@ def check(m: dict) -> list[str]:
         failures.append(
             f"tape batched-execution speedup {m['tape_speedup']:.2f}x < 2.5x "
             "over the tree interpreter"
+        )
+    if m["tier_tag_floor"] < 1:
+        missing = [
+            tag
+            for tag in _NEW_TIER_TAGS
+            if m["tier_tag_counts"].get(tag, 0) < 1
+        ]
+        failures.append(
+            "full tier profile reported zero "
+            + "/".join(missing)
+            + " tags — a tier the profile promises never engaged"
         )
     replay = m["corpus_replay_bench"]
     if replay["retriggered"] != replay["seeds"]:

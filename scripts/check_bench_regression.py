@@ -39,6 +39,14 @@ Gated metrics (all higher-is-better):
   machine, but of a tiny prelude over a small workload, so it is noisy
   on shared runners — warn-only.  That every replayed seed re-triggers
   is asserted inside the benchmark, not gated here.
+* ``tiers_throughput`` — absolute programs/sec of the full-tier-profile
+  loops campaign (vec-libm environments, mixed-precision and
+  integer-guard widening); warn-only, absolute.
+* ``tier_tag_floor`` — minimum count across the three new structural
+  tags in the full-tier leg.  Warn-only here (counts are a coverage
+  signal, not a speed one — a drop flags a generator/policy change
+  starving a tier); that the floor is *nonzero* is asserted inside the
+  benchmark itself.
 
 Usage::
 
@@ -67,6 +75,8 @@ SOFT_METRICS = (
     "loops_tape_throughput",
     "island_throughput",
     "corpus_replay_overhead",
+    "tiers_throughput",
+    "tier_tag_floor",
 )
 GATED_METRICS = HARD_METRICS + SOFT_METRICS
 

@@ -27,7 +27,7 @@ from repro.experiments.runner import ExperimentContext
 from repro.experiments.settings import ExperimentSettings, parse_shard
 from repro.fp.formats import Precision
 from repro.generation.prompts import direct_prompt, grammar_prompt, mutation_prompt
-from repro.toolchains import default_compilers
+from repro.toolchains import TIER_PROFILES, default_compilers
 from repro.triage.reduce import DEFAULT_MAX_TESTS
 from repro.utils.rng import SplittableRng
 from repro.utils.timing import format_hms
@@ -84,7 +84,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.generation.program import generator_capabilities
 
     rng = SplittableRng(args.seed, f"cli-{args.approach}")
-    generator = make_generator(args.approach, rng)
+    generator = make_generator(args.approach, rng, tiers=args.tiers)
     corpus_path = (
         args.corpus if args.corpus is not None else ExperimentSettings().corpus_path
     )
@@ -161,7 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         progress = _StreamProgress(args.budget)
     result = run_campaign(
         generator,
-        default_compilers(),
+        default_compilers(tiers=args.tiers),
         config,
         progress=progress,
         engine_config=engine_config,
@@ -174,6 +174,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"approach:             {s['approach']}")
     print(f"programs:             {args.budget}")
     print(f"backend:              {args.backend}")
+    if args.tiers != "baseline":
+        print(f"tier profile:         {args.tiers}")
     print(f"exec mode:            {engine_config.exec_mode}")
     print(f"jobs:                 {engine_config.resolved_jobs}")
     if shard_count > 1:
@@ -377,7 +379,9 @@ def _cmd_triage(args: argparse.Namespace) -> int:
                     source = f.read()
                 program = GeneratedProgram(source=source, inputs=args.inputs)
                 label = args.program
-            engine = CampaignEngine(default_compilers(), CampaignConfig(budget=1))
+            compilers = default_compilers(tiers=args.tiers)
+            engine = CampaignEngine(compilers, CampaignConfig(budget=1))
+            kwargs["compilers"] = compilers
             outcome = engine.test_program(0, program)
             if not outcome.triggered:
                 print(f"{label}: no inconsistency on the given inputs", file=sys.stderr)
@@ -550,6 +554,13 @@ def main(argv: list[str] | None = None) -> int:
         help="replay this trigger corpus's regression seeds before the "
         "approach's own stream — every campaign opens with a regression "
         "sweep (default: REPRO_CORPUS_PATH; missing file = no seeds)",
+    )
+    p_run.add_argument(
+        "--tiers", choices=TIER_PROFILES, default="baseline",
+        help="divergence-tier profile: baseline (byte-identical to "
+        "pre-registry campaigns) or full (adds the vec-libm, "
+        "mixed-precision and masked-int-guard tiers to every compiler's "
+        "pipeline and FP environment)",
     )
     p_run.add_argument(
         "--no-cache", action="store_true",
@@ -748,6 +759,11 @@ def main(argv: list[str] | None = None) -> int:
     p_triage.add_argument(
         "--no-reduce", action="store_true",
         help="skip delta-debugging reduction (bisect + cluster only)",
+    )
+    p_triage.add_argument(
+        "--tiers", choices=TIER_PROFILES, default="baseline",
+        help="divergence-tier profile for --program/--demo (checkpoints "
+        "carry their own profile and are triaged under it automatically)",
     )
     p_triage.add_argument(
         "--backend", choices=BACKENDS, default="thread",

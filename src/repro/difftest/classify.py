@@ -258,22 +258,25 @@ def structural_tag(
 
     Precondition for any tag is the precision pair of the module
     docstring: observationally equal environments and content-identical
-    select-stripped scalar parts, so nothing but the vector tier can be
-    the cause.  Then the sides' *masked* shapes are compared first:
-    a difference there (mask sites, or the style/width of a reduction
-    fed by blended lanes) is the narrower mechanism and tags
-    :data:`MASKED_LANE`.  With identical masked shapes — including the
-    both-empty case — a difference in the plain reduction shapes tags
-    :data:`VECTOR_REDUCTION`: two sides that masked identically but
-    reduce an *unmasked* loop differently diverged through the plain
-    vector tier, not the masking.
+    select-stripped scalar parts, so nothing but the vectorizing tiers
+    can be the cause.  The tiers themselves come from the divergence-tier
+    registry (:mod:`repro.tiers`), consulted in rank order — the lowest
+    rank whose shapes differ names the inconsistency.  This legacy entry
+    point carries only the two original tiers' shapes (masked sites rank
+    ahead of plain reduction shapes, exactly the pre-registry
+    precedence); callers with per-environment shapes for every registered
+    tier — the engine's compare stage — use
+    :func:`repro.tiers.structural_tag_from_shapes` directly.
     """
+    from repro.tiers import registry
+
     if not envs_equal or not scalar_parts_equal:
         return None
-    if masked_a != masked_b:
-        return MASKED_LANE
-    if shape_a != shape_b:
-        return VECTOR_REDUCTION
+    sides_a = {MASKED_LANE: masked_a, VECTOR_REDUCTION: shape_a}
+    sides_b = {MASKED_LANE: masked_b, VECTOR_REDUCTION: shape_b}
+    for tier in registry():
+        if sides_a.get(tier.tag, ()) != sides_b.get(tier.tag, ()):
+            return tier.tag
     return None
 
 

@@ -73,12 +73,7 @@ from repro.difftest.backend import (
     create_backend,
     resolve_jobs,
 )
-from repro.difftest.classify import (
-    devectorized_fingerprint,
-    masked_shape,
-    structural_tag,
-    vector_shape,
-)
+from repro.difftest.classify import devectorized_fingerprint
 from repro.difftest.compare import digit_difference
 from repro.difftest.config import CampaignConfig
 from repro.difftest.record import CampaignResult, ComparisonRecord, ProgramOutcome
@@ -96,8 +91,14 @@ from repro.generation.program import (
 )
 from repro.ir import nodes as ir
 from repro.ir.lower import lower_compute
+from repro.tiers import shape_vector, structural_tag_from_shapes
 from repro.toolchains.base import Binary, Compiler, CompilerKind, _flags_or
-from repro.toolchains.cache import CompileCache, env_fingerprint, kernel_fingerprint
+from repro.toolchains.cache import (
+    CompileCache,
+    env_fingerprint,
+    kernel_fingerprint,
+    scalar_env_fingerprint,
+)
 from repro.toolchains.cuda import translate_to_cuda
 from repro.toolchains.optlevels import OptLevel
 from repro.utils.timing import Stopwatch
@@ -316,12 +317,11 @@ class _BinaryRun:
     signature: str | None
     value: float | None
     printed: tuple[float, ...] = ()
-    #: optimized kernel's (op, lanes, style) VecReduce sites, its
-    #: if-conversion (mask) sites, the content hash of its
-    #: vector-stripped body, and env identity — used to tag
-    #: vector-reduction / masked-lane inconsistencies in the compare stage
-    vec_shape: tuple = ()
-    mask_shape: tuple = ()
+    #: per-tier structural shapes of the optimized kernel under its
+    #: environment (divergence-tier registry order), the content hash of
+    #: its vector-stripped body, and the environment's *scalar* identity
+    #: — used to tag structural inconsistencies in the compare stage
+    shapes: tuple = ()
     devec_fp: str = ""
     env_key: tuple = ()
 
@@ -418,6 +418,15 @@ class CampaignEngine:
     ) -> None:
         _validate_compilers(compilers)
         self.compilers = list(compilers)
+        profiles = {getattr(c, "tiers", "baseline") for c in self.compilers}
+        if len(profiles) > 1:
+            raise ValueError(
+                "compilers disagree on the divergence-tier profile "
+                f"({', '.join(sorted(profiles))}); structural tags are only "
+                "meaningful when every side compiles under one profile"
+            )
+        #: the campaign's divergence-tier profile (uniform across compilers)
+        self.tiers = profiles.pop()
         self.config = config or CampaignConfig()
         self.engine_config = engine_config or EngineConfig()
         if cache is not None:
@@ -483,6 +492,7 @@ class CampaignEngine:
             compilers=tuple(c.name for c in self.compilers),
             shard_index=ec.shard_index,
             shard_count=ec.shard_count,
+            tiers=self.tiers,
         )
         done: dict[int, ProgramOutcome] = {}
         if store is not None:
@@ -552,7 +562,7 @@ class CampaignEngine:
 
     def _store_header(self, result: CampaignResult) -> dict:
         """Identity of this campaign for checkpoint validation."""
-        return {
+        header = {
             "approach": result.approach,
             "budget": result.budget,
             "levels": [str(level) for level in result.levels],
@@ -568,6 +578,12 @@ class CampaignEngine:
                 self.engine_config.merge_every if self.engine_config.islands else 0
             ),
         }
+        # Written only when non-default, like the island fields' 0/0
+        # convention: baseline headers stay byte-identical to pre-tier
+        # checkpoints, which therefore resume cleanly.
+        if self.tiers != "baseline":
+            header["tiers"] = self.tiers
+        return header
 
     def _charge(
         self,
@@ -790,9 +806,12 @@ class CampaignEngine:
     ) -> dict[tuple[str, OptLevel], _BinaryRun]:
         """Fill the outcome's per-binary dicts in legacy matrix order."""
         runs: dict[tuple[str, OptLevel], _BinaryRun] = {}
-        # kernel identity -> (vector shape, devectorized fingerprint),
-        # memoized: sibling levels share the optimized kernel object
-        shapes: dict[int, tuple] = {}
+        # (kernel identity, environment content) -> (per-tier shapes,
+        # devectorized fingerprint), memoized: sibling levels share the
+        # optimized kernel object and usually the environment too.  The
+        # environment is part of the key because the vec-libm tier's
+        # shape depends on which vector math library the binary links.
+        shapes: dict[tuple, tuple] = {}
         for record in compiles:
             label = record.label
             outcome.compiled[label] = record.ok
@@ -803,22 +822,26 @@ class CampaignEngine:
             if result.ok:
                 sig = result.signature()
                 kernel = record.binary.kernel
-                cached = shapes.get(id(kernel))
+                env = record.binary.env
+                env_fp = env_fingerprint(env)
+                memo_key = (id(kernel), env_fp)
+                cached = shapes.get(memo_key)
                 if cached is None:
                     cached = (
-                        vector_shape(kernel),
-                        masked_shape(kernel),
+                        shape_vector(kernel, env),
                         devectorized_fingerprint(kernel),
                     )
-                    shapes[id(kernel)] = cached
+                    shapes[memo_key] = cached
                 runs[(record.compiler, record.level)] = _BinaryRun(
                     sig,
                     result.value,
                     result.printed,
-                    vec_shape=cached[0],
-                    mask_shape=cached[1],
-                    devec_fp=cached[2],
-                    env_key=env_fingerprint(record.binary.env),
+                    shapes=cached[0],
+                    devec_fp=cached[1],
+                    # Scalar projection: a vec-libm difference is the
+                    # vec-libm *tier's* finding, not an environment
+                    # difference that disqualifies structural tagging.
+                    env_key=scalar_env_fingerprint(env),
                 )
                 if sig is not None:
                     outcome.signatures[label] = sig
@@ -854,11 +877,9 @@ class CampaignEngine:
                         value_a=va,
                         value_b=vb,
                         digit_diff=_diffing_digits(va, vb),
-                        tag=structural_tag(
-                            ra.vec_shape,
-                            rb.vec_shape,
-                            ra.mask_shape,
-                            rb.mask_shape,
+                        tag=structural_tag_from_shapes(
+                            ra.shapes,
+                            rb.shapes,
                             ra.env_key == rb.env_key,
                             ra.devec_fp == rb.devec_fp,
                         ),

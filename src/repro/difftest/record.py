@@ -17,13 +17,13 @@ class ComparisonRecord:
     """One pairwise output comparison at one optimization level.
 
     ``tag`` carries a structural inconsistency kind when one applies —
-    :data:`~repro.difftest.classify.VECTOR_REDUCTION` or
-    :data:`~repro.difftest.classify.MASKED_LANE` — set by the engine
-    when the two sides' optimized kernels widen loops with different
-    vector/mask shapes under observationally equal FP environments.  It
-    complements (never replaces) the value-class ``kind``: Figure 3
-    taxonomies stay value-based, while triage keys on the structural
-    kind when present.
+    the tag of a registered divergence tier (:mod:`repro.tiers`:
+    ``vec-libm``, ``mixed-precision``, ``masked-int-guard``,
+    ``masked-lane``, ``vector-reduction``) — set by the engine when the
+    two sides' optimized kernels extract different tier shapes under
+    observationally equal FP environments.  It complements (never
+    replaces) the value-class ``kind``: Figure 3 taxonomies stay
+    value-based, while triage keys on the structural kind when present.
     """
 
     program_index: int
@@ -100,6 +100,10 @@ class CampaignResult:
     #: shards and unsharded runs agree on every denominator.
     shard_index: int = 0
     shard_count: int = 1
+    #: divergence-tier profile the compilers ran under (see
+    #: :func:`repro.toolchains.optlevels.tier_policy`); ``"baseline"``
+    #: reproduces pre-registry campaigns exactly.
+    tiers: str = "baseline"
 
     @property
     def comparisons(self) -> list[ComparisonRecord]:

@@ -132,8 +132,9 @@ class CampaignReport:
         return kinds
 
     def tag_counts(self) -> dict[str, int]:
-        """Structural inconsistency kinds (``vector-reduction``,
-        ``masked-lane``) by count.
+        """Structural inconsistency kinds — divergence-tier tags from
+        :mod:`repro.tiers` (``vector-reduction``, ``masked-lane``,
+        ``vec-libm``, ...) — by count.
 
         Orthogonal to :meth:`kind_counts`: a tagged comparison still
         appears in its value-class bucket, so Figure 3 totals are

@@ -61,7 +61,13 @@ __all__ = [
 # * v4 — island-model generation: the header gains ``islands`` and
 #   ``merge_every`` (0/0 when the campaign is not island-partitioned) and
 #   files may carry ``island`` merge-point records between outcomes.  A
-#   v3 header reads as islands=0/merge_every=0.
+#   v3 header reads as islands=0/merge_every=0.  Later v4 writers add an
+#   optional ``tiers`` header field when the campaign ran under a
+#   non-default divergence-tier profile (see :mod:`repro.tiers`), in
+#   which case rows may carry the newer registry tags (``vec-libm``,
+#   ``mixed-precision``, ``masked-int-guard``); a header without the
+#   field reads as ``tiers="baseline"``, whose rows — and bytes — are
+#   identical to pre-registry v4 files.
 #
 # New checkpoints are written at the current version.  Older versions
 # remain *readable* (``load_result`` / ``merge`` / ``triage`` — missing
@@ -76,8 +82,12 @@ __all__ = [
 _FORMAT_VERSION = 4
 _READABLE_VERSIONS = frozenset({1, 2, 3, _FORMAT_VERSION})
 
-#: Header fields introduced by v4, with the value a pre-v4 header implies.
+#: Optional header fields, with the value their absence implies: the v4
+#: island fields (pre-v4 headers) and the divergence-tier profile
+#: (written only when non-default, so baseline headers keep pre-registry
+#: bytes).
 _ISLAND_DEFAULTS = {"islands": 0, "merge_every": 0}
+_HEADER_DEFAULTS = {**_ISLAND_DEFAULTS, "tiers": "baseline"}
 
 
 class CampaignStoreError(ValueError):
@@ -282,7 +292,7 @@ class CampaignStore:
         """The campaign identity a header pins, normalized across versions
         (pre-v4 headers imply islands=0 / merge_every=0)."""
         ident = {k: v for k, v in header.items() if k != "version"}
-        for key, default in _ISLAND_DEFAULTS.items():
+        for key, default in _HEADER_DEFAULTS.items():
             ident.setdefault(key, default)
         return ident
 
@@ -377,6 +387,7 @@ def load_result(path: str | os.PathLike) -> CampaignResult:
         outcomes=outcomes,
         shard_index=header["shard_index"],
         shard_count=header["shard_count"],
+        tiers=header.get("tiers", "baseline"),
     )
 
 
@@ -471,11 +482,11 @@ def merge_shards(results: list[CampaignResult]) -> CampaignResult:
     if not results:
         raise ValueError("merge_shards needs at least one shard result")
     first = results[0]
-    identity = (first.approach, first.budget, first.levels, first.compilers)
+    identity = (first.approach, first.budget, first.levels, first.compilers, first.tiers)
     count = first.shard_count
     seen: set[int] = set()
     for r in results:
-        if (r.approach, r.budget, r.levels, r.compilers) != identity:
+        if (r.approach, r.budget, r.levels, r.compilers, r.tiers) != identity:
             raise ValueError(
                 "shard results describe different campaigns: "
                 f"{(r.approach, r.budget)} vs {(first.approach, first.budget)}"

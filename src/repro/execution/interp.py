@@ -307,10 +307,20 @@ class Interpreter:
                 env.fma(x, y, z, e.ty) for x, y, z in zip(a, b, c)
             )
         if isinstance(e, ir.VecCall):
+            # Lane calls resolve through the environment's *vector* math
+            # library when one is bound (the vec-libm tier); without one
+            # this is exactly the scalar libm per lane.
             args = [self._eval(a) for a in e.args]
             return tuple(
-                env.call(e.name, tuple(arg[j] for arg in args), e.ty)
+                env.veccall(e.name, tuple(arg[j] for arg in args), e.ty)
                 for j in range(e.lanes)
+            )
+        if isinstance(e, ir.VecFpExt):
+            return self._eval(e.operand)  # float lanes are exact doubles
+        if isinstance(e, ir.VecFpTrunc):
+            return tuple(
+                v if math.isnan(v) or math.isinf(v) else env.canon(v, "float")
+                for v in self._eval(e.operand)
             )
         if isinstance(e, ir.VecCmp):
             left = self._eval(e.left)

@@ -858,7 +858,9 @@ class _Compiler:
         return self._lift((e.a, e.b, e.c), off, apply)
 
     def _c_veccall(self, e, off: int):
-        impl = self.env.call_impl(e.name, e.ty)
+        # veccall_impl binds the vector math library when the environment
+        # carries one (the vec-libm tier) and the scalar libm otherwise.
+        impl = self.env.veccall_impl(e.name, e.ty)
         lanes = e.lanes
 
         def apply(st, p, vals, _op=impl, _n=lanes):
@@ -867,6 +869,20 @@ class _Compiler:
             )
 
         return self._lift(e.args, off, apply)
+
+    def _c_vecfpext(self, e, off: int):
+        f, c = self._expr(e.operand, off + 1)
+        if c is not None:
+            return f, 1 + c
+        return f, None  # float lanes are exact doubles
+
+    def _c_vecfptrunc(self, e, off: int):
+        canon = self.env.canon_impl("float")  # nan/inf pass through canon
+
+        def apply(st, p, vals, _c=canon):
+            return tuple(map(_c, vals[0]))
+
+        return self._lift((e.operand,), off, apply)
 
     def _c_veccmp(self, e, off: int):
         impl = _cmp_impl(e.op, fp=True)
@@ -1031,6 +1047,8 @@ class _Compiler:
         ir.VecIota: _c_veciota,
         ir.VecLoad: _c_vecload,
         ir.VecSiToFp: _c_vecsitofp,
+        ir.VecFpExt: _c_vecfpext,
+        ir.VecFpTrunc: _c_vecfptrunc,
         ir.VecBin: _c_vecbin,
         ir.VecNeg: _c_vecneg,
         ir.VecFma: _c_vecfma,

@@ -29,6 +29,12 @@ ALL_APPROACHES: tuple[str, ...] = APPROACHES + EXTRA_APPROACHES
 _LLM_MEAN_LATENCY_SECONDS = 15.0
 
 
+#: ``loops`` workload shares for the ``full`` divergence-tier profile:
+#: with the vec-libm / mixed-precision / masked-int-guard tiers enabled
+#: in the compilers, a slice of the program stream targets each one.
+_FULL_TIER_LOOP_SHARES = dict(libm_share=0.3, mixed_share=0.25, int_guard_share=0.25)
+
+
 def make_generator(
     approach: str,
     rng: SplittableRng,
@@ -36,6 +42,7 @@ def make_generator(
     config: GenerationConfig | None = None,
     model_latency: bool = False,
     mutation_prob: float = 0.7,
+    tiers: str = "baseline",
 ) -> ProgramGenerator:
     """Build the generator for one approach name.
 
@@ -45,11 +52,18 @@ def make_generator(
     * ``llm4fp``         — grammar + feedback mutation (0.3/0.7 split).
     * ``loops``          — reduction/map loop kernels (the vector tier's
       workload; feedback-free, so shardable).
+
+    ``tiers`` mirrors the compilers' divergence-tier profile: under
+    ``"full"`` the ``loops`` generator mixes in the new tiers' workloads
+    (vector-math calls, ``(float)`` casts, integer trip guards).  The
+    default ``"baseline"`` keeps every generator's program stream
+    byte-identical to pre-tier releases.
     """
     if approach == "varity":
         return VarityGenerator(rng)
     if approach == "loops":
-        return LoopReductionGenerator(rng)
+        shares = _FULL_TIER_LOOP_SHARES if tiers == "full" else {}
+        return LoopReductionGenerator(rng, **shares)
     if approach not in ALL_APPROACHES:
         raise ValueError(
             f"unknown approach {approach!r}; expected one of {ALL_APPROACHES}"

@@ -141,6 +141,10 @@ class FPEnvironment:
     approx_div: bool = False
     approx_sqrt: bool = False
     _salt: bytes = b"device-approx-unit"
+    #: Vector math library linked for auto-vectorized call sites (libmvec,
+    #: SLEEF, SIMT intrinsics).  ``None`` means vector lanes call the scalar
+    #: ``libm`` — the pre-vec-libm-tier behaviour.
+    veclibm: MathLibrary | None = None
 
     @property
     def fmt(self) -> FloatFormat:
@@ -212,12 +216,24 @@ class FPEnvironment:
     # -- library calls ----------------------------------------------------------------
 
     def call(self, fn: str, args: tuple[float, ...], ty: str = "double") -> float:
+        return self._lib_call(self.libm, fn, args, ty)
+
+    def veccall(self, fn: str, args: tuple[float, ...], ty: str = "double") -> float:
+        """A vectorized lane's library call.
+
+        Resolves through :attr:`veclibm` when one is linked (the vec-libm
+        tier); otherwise bit-identical to :meth:`call`, which is how
+        pre-tier campaigns replay unchanged.
+        """
+        return self._lib_call(self.veclibm or self.libm, fn, args, ty)
+
+    def _lib_call(self, lib: MathLibrary, fn: str, args: tuple[float, ...], ty: str) -> float:
         args = tuple(self._flush(a, ty) for a in args)
         fmt = FP32 if ty == "float" else FP64
         if fn == "sqrt" and self.approx_sqrt:
-            ref = self.libm.call("sqrt", args, fmt)
+            ref = lib.call("sqrt", args, fmt)
             return self._flush(_approx_perturb(self._salt, "sqrt", args, ref, 2, 0.5), ty)
-        return self._flush(self.libm.call(fn, args, fmt), ty)
+        return self._flush(lib.call(fn, args, fmt), ty)
 
     # -- specialized implementations ---------------------------------------------
     #
@@ -295,8 +311,15 @@ class FPEnvironment:
 
     def call_impl(self, fn: str, ty: str):
         """A ``f(args)`` bit-identical to ``call(fn, args, ty)``."""
+        return self._lib_call_impl(self.libm, fn, ty)
+
+    def veccall_impl(self, fn: str, ty: str):
+        """A ``f(args)`` bit-identical to ``veccall(fn, args, ty)``."""
+        return self._lib_call_impl(self.veclibm or self.libm, fn, ty)
+
+    def _lib_call_impl(self, lib: MathLibrary, fn: str, ty: str):
         fmt = FP32 if ty == "float" else FP64
-        libm_call = self.libm.call
+        libm_call = lib.call
         flush = self._flush_impl(ty)
         if fn == "sqrt" and self.approx_sqrt:
             salt = self._salt
@@ -333,6 +356,8 @@ class FPEnvironment:
 
     def describe(self) -> str:
         bits = [self.precision.value, f"libm={self.libm.name}"]
+        if self.veclibm is not None:
+            bits.append(f"veclibm={self.veclibm.name}")
         if self.ftz:
             bits.append("ftz")
         if self.approx_div:

@@ -39,6 +39,9 @@ __all__ = [
     "CudaLibm",
     "FastHostLibm",
     "FastCudaLibm",
+    "GccVecLibm",
+    "ClangVecLibm",
+    "NvccVecLibm",
 ]
 
 
@@ -327,4 +330,40 @@ def FastCudaLibm() -> PerturbedLibm:
     return PerturbedLibm(
         "cuda-fast", salt="cuda-intrinsic", max_ulps=8, perturb_prob=0.80,
         huge_trig_nan_prob=0.20,
+    )
+
+
+# -- vector math libraries (the vec-libm divergence tier) ----------------------
+#
+# Auto-vectorized libm calls do not go through the scalar entry points: gcc
+# emits libmvec's ``_ZGV*`` symbols, clang (with ``-fveclib``) targets
+# SLEEF-style kernels, and nvcc's fast-math path lowers to SIMT intrinsics.
+# Each is a *different implementation* from the scalar library it shadows,
+# with its own accuracy budget, so a vectorized loop body can disagree with
+# the same source evaluated scalar — per call site, per lane.  The models
+# below plug into :class:`repro.fp.env.FPEnvironment.veclibm`; ``VecCall``
+# lanes resolve through them while scalar ``FCall`` keeps the scalar libm.
+
+
+def GccVecLibm() -> PerturbedLibm:
+    """glibc's libmvec (``_ZGVbN*`` kernels): ~4 ulp vector transcendentals."""
+    return PerturbedLibm(
+        "libmvec", salt="glibc-libmvec", max_ulps=4, perturb_prob=0.65,
+        huge_trig_nan_prob=0.08,
+    )
+
+
+def ClangVecLibm() -> PerturbedLibm:
+    """A SLEEF-style vector library (clang ``-fveclib=SLEEF``): ~3.5 ulp."""
+    return PerturbedLibm(
+        "sleef", salt="sleef-3.6", max_ulps=3, perturb_prob=0.60,
+        huge_trig_nan_prob=0.05,
+    )
+
+
+def NvccVecLibm() -> PerturbedLibm:
+    """SIMT fast-math intrinsics across a warp (``__sinf``-class accuracy)."""
+    return PerturbedLibm(
+        "simt-intrinsic", salt="cuda-simt", max_ulps=16, perturb_prob=0.85,
+        huge_trig_nan_prob=0.25,
     )

@@ -45,6 +45,9 @@ class LoopReductionGenerator:
         rng: SplittableRng,
         warp_share: float = 0.35,
         guarded_share: float = 0.30,
+        libm_share: float = 0.0,
+        mixed_share: float = 0.0,
+        int_guard_share: float = 0.0,
     ) -> None:
         self._rng = rng.split("loops")
         #: fraction of programs sized to engage the 32-lane warp model
@@ -52,6 +55,18 @@ class LoopReductionGenerator:
         #: per-loop probability of a guarded (conditional-body) shape —
         #: the masked-vectorization tier's workload
         self.guarded_share = guarded_share
+        #: per-program probability of a call-heavy reduction loop — the
+        #: vec-libm tier's workload (vector math libraries diverge from
+        #: scalar libm).  The three tier shares default to 0.0 and, at
+        #: 0.0, draw nothing from the rng, so the default program stream
+        #: is byte-identical to pre-tier generators.
+        self.libm_share = libm_share
+        #: per-program probability of a mixed float/double reduction loop
+        #: (``(float)`` casts) — the mixed-precision tier's workload
+        self.mixed_share = mixed_share
+        #: per-program probability of an integer trip-count-guarded loop
+        #: (``if (i < m)``) — the masked-int-guard tier's workload
+        self.int_guard_share = int_guard_share
         self._counter = 0
 
     # -- public API --------------------------------------------------------------
@@ -145,6 +160,18 @@ class LoopReductionGenerator:
             else:
                 lines.extend(self._reduction_loop(rng, arrays, k))
                 pattern_bits.append("reduce")
+        # Divergence-tier workloads (see the tier shares in __init__).
+        # Guarded by `share > 0` before the bernoulli so a zero share
+        # draws nothing: the default rng stream stays byte-identical.
+        if self.libm_share > 0 and rng.bernoulli(self.libm_share):
+            lines.extend(self._libm_loop(rng, arrays))
+            pattern_bits.append("libm")
+        if self.mixed_share > 0 and rng.bernoulli(self.mixed_share):
+            lines.extend(self._mixed_loop(rng, arrays))
+            pattern_bits.append("mixed")
+        if self.int_guard_share > 0 and rng.bernoulli(self.int_guard_share):
+            lines.extend(self._int_guard_loop(rng, arrays))
+            pattern_bits.append("iguard")
         lines.append('printf("%.17g\\n", comp);')
 
         body = "\n  ".join(lines)
@@ -273,6 +300,56 @@ class LoopReductionGenerator:
             "for (int i = 0; i < n; ++i) {",
             f"  if ({guard}) {{",
             f"    comp += {arr}[i];",
+            "  }",
+            "}",
+        ]
+
+    # -- divergence-tier loop shapes ---------------------------------------------
+
+    def _libm_loop(self, rng: SplittableRng, arrays: list[str]) -> list[str]:
+        """A call-heavy reduction: every trip goes through libm, so when a
+        compiler vectorizes calls against its vector math library
+        (``--tiers full`` at fast-math levels) the lanes take the
+        library's own polynomials, not scalar libm's."""
+        fn_a = rng.choice(_SAFE_CALLS)
+        fn_b = rng.choice(_SAFE_CALLS)
+        arr = rng.choice(arrays)
+        return [
+            "for (int i = 0; i < n; ++i) {",
+            f"  comp += {fn_a}({arr}[i]) + {fn_b}(s + i) * 0.25;",
+            "}",
+        ]
+
+    def _mixed_loop(self, rng: SplittableRng, arrays: list[str]) -> list[str]:
+        """A mixed float/double reduction: ``(float)`` casts narrow the
+        term, the accumulation widens it back — the ``FpExt``/``FpTrunc``
+        conversion sites the mixed-precision tier widens."""
+        arr = rng.choice(arrays)
+        term = rng.choice(
+            [
+                f"(float)({arr}[i]) * (float)(s)",
+                f"(float)({arr}[i] * s)",
+                f"(float)({arr}[i]) + (float)(0.5 * s)",
+            ]
+        )
+        return [
+            "for (int i = 0; i < n; ++i) {",
+            f"  comp += {term};",
+            "}",
+        ]
+
+    def _int_guard_loop(self, rng: SplittableRng, arrays: list[str]) -> list[str]:
+        """A trip-count-guarded accumulation: the mask depends on the
+        induction variable itself (``if (i < m)``), so it only
+        if-converts where integer guards widen to iota/splat masks —
+        the masked-int-guard tier."""
+        arr = rng.choice(arrays)
+        bound = rng.choice(["n - 1", "n - 2", "n - 3"])
+        cmp_op = rng.choice(["<", "<=", ">=", ">"])
+        return [
+            "for (int i = 0; i < n; ++i) {",
+            f"  if (i {cmp_op} {bound}) {{",
+            f"    comp += {arr}[i] * s;",
             "  }",
             "}",
         ]

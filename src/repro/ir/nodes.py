@@ -221,6 +221,31 @@ class VecSiToFp:
     ty: str = "double"
 
 
+@dataclass(frozen=True, slots=True)
+class VecFpExt:
+    """Lane-wise float -> double widening (a widened :class:`FpExt`).
+
+    Like its scalar counterpart, exact: every binary32 value is a
+    binary64 value, so no lane rounds.
+    """
+
+    operand: "Expr"
+    lanes: int
+
+
+@dataclass(frozen=True, slots=True)
+class VecFpTrunc:
+    """Lane-wise double -> float narrowing (a widened :class:`FpTrunc`).
+
+    Each lane rounds independently through the binary's environment —
+    under FTZ the narrowing also flushes subnormal lanes, which is how
+    mixed-precision bodies compose with fast-math device models.
+    """
+
+    operand: "Expr"
+    lanes: int
+
+
 # -- mask-typed vector nodes (the if-conversion tier) --------------------------
 #
 # A *mask* is a vector of lane predicates (0/1 ints).  If-conversion turns
@@ -354,6 +379,8 @@ Expr = Union[
     VecFma,
     VecCall,
     VecSiToFp,
+    VecFpExt,
+    VecFpTrunc,
     VecCmp,
     VecSelect,
     VecMaskedLoad,
@@ -366,7 +393,7 @@ _FP_NODES = (FConst, FBin, FNeg, Fma, FCall, SiToFp, FpExt, FpTrunc)
 #: a scalar, so it is *not* in this set).
 VECTOR_NODES = (
     VecConst, VecSplat, VecIota, VecLoad, VecBin, VecNeg, VecFma, VecCall,
-    VecSiToFp, VecCmp, VecSelect, VecMaskedLoad,
+    VecSiToFp, VecFpExt, VecFpTrunc, VecCmp, VecSelect, VecMaskedLoad,
 )
 
 #: Every node of the vector tier, vector-valued or not — the isinstance
@@ -386,9 +413,9 @@ def expr_type(e: Expr) -> str:
         return "int"
     if isinstance(e, (Load, LoadElem)):
         return e.ty
-    if isinstance(e, FpExt):
+    if isinstance(e, (FpExt, VecFpExt)):
         return "double"
-    if isinstance(e, FpTrunc):
+    if isinstance(e, (FpTrunc, VecFpTrunc)):
         return "float"
     if isinstance(e, Select):
         return e.ty
@@ -414,7 +441,8 @@ def walk(e: Expr):
         yield from walk(e.right)
     elif isinstance(
         e,
-        (FNeg, INeg, Not, SiToFp, FpToSi, FpExt, FpTrunc, VecSplat, VecNeg, VecSiToFp, VecReduce),
+        (FNeg, INeg, Not, SiToFp, FpToSi, FpExt, FpTrunc, VecSplat, VecNeg,
+         VecSiToFp, VecFpExt, VecFpTrunc, VecReduce),
     ):
         yield from walk(e.operand)
     elif isinstance(e, (Fma, VecFma)):

@@ -56,6 +56,8 @@ def rebuild_expr(e: ir.Expr, fn) -> ir.Expr:
         e = ir.VecSplat(rebuild_expr(e.operand, fn), e.lanes, e.ty)
     elif isinstance(e, ir.VecSiToFp):
         e = ir.VecSiToFp(rebuild_expr(e.operand, fn), e.lanes, e.ty)
+    elif isinstance(e, (ir.VecFpExt, ir.VecFpTrunc)):
+        e = type(e)(rebuild_expr(e.operand, fn), e.lanes)
     elif isinstance(e, ir.VecIota):
         e = ir.VecIota(rebuild_expr(e.base, fn), e.lanes)
     elif isinstance(e, ir.VecLoad):

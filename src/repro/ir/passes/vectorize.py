@@ -93,7 +93,12 @@ class Vectorize(Pass):
     name = "vectorize"
 
     def __init__(
-        self, width: int = 4, style: str = "adjacent", masked: bool = False
+        self,
+        width: int = 4,
+        style: str = "adjacent",
+        masked: bool = False,
+        int_guards: bool = False,
+        mixed: bool = False,
     ) -> None:
         if width < 2:
             raise ValueError("vector width must be >= 2")
@@ -106,6 +111,13 @@ class Vectorize(Pass):
         #: widen if-converted select forms (vs refusing them, the
         #: pre-masking behaviour kept for levels that do not if-convert)
         self.masked = masked
+        #: also widen *integer* guard comparisons (``if (i < m)``) into
+        #: iota/splat masks; off by default — the masked-int-guard tier
+        self.int_guards = int_guards
+        #: also widen ``FpExt``/``FpTrunc`` conversion sites, letting
+        #: mixed float/double bodies vectorize; off by default — the
+        #: mixed-precision tier
+        self.mixed = mixed
 
     def run(self, kernel: ir.Kernel) -> ir.Kernel:
         self._taken: set[str] = set(kernel.var_types)
@@ -339,18 +351,41 @@ class Vectorize(Pass):
     def _widen_mask(self, cond: ir.Expr, var: str) -> ir.Expr | None:
         """The ``width``-lane predicate vector of a scalar condition.
 
-        Only floating comparisons whose operands widen are accepted —
-        the shape if-conversion and source ternaries produce.  The
-        operands are evaluated in every lane (a condition runs on every
-        scalar trip too), so they widen without a mask context.
+        Floating comparisons whose operands widen are accepted — the
+        shape if-conversion and source ternaries produce.  With
+        ``int_guards`` enabled, *integer* comparisons widen too: an
+        affine use of the induction variable steps per lane through
+        :class:`~repro.ir.nodes.VecIota` and invariant int operands
+        broadcast, so trip-count guards like ``if (i < m)`` if-convert.
+        The operands are evaluated in every lane (a condition runs on
+        every scalar trip too), so they widen without a mask context.
         """
-        if not (isinstance(cond, ir.Compare) and cond.fp):
+        if not isinstance(cond, ir.Compare):
             return None
-        left = self._widen(cond.left, var)
-        right = self._widen(cond.right, var)
+        if cond.fp:
+            left = self._widen(cond.left, var)
+            right = self._widen(cond.right, var)
+        elif self.int_guards:
+            left = self._widen_int(cond.left, var)
+            right = self._widen_int(cond.right, var)
+        else:
+            return None
         if left is None or right is None:
             return None
         return ir.VecCmp(cond.op, left, right, self.width)
+
+    def _widen_int(self, e: ir.Expr, var: str) -> ir.Expr | None:
+        """The lane form of an *integer* guard operand (int-guards tier):
+        loop-invariant ints broadcast, affine uses of the induction
+        variable become iota vectors, everything else rejects."""
+        if not self._uses_var(e, var):
+            if isinstance(e, ir.ANY_VECTOR_NODES) or ir.expr_type(e) != "int":
+                return None
+            return ir.VecSplat(e, self.width, "int")
+        base = self._affine(e, var)
+        if base is None:
+            return None
+        return ir.VecIota(base, self.width)
 
     def _widen(
         self,
@@ -422,6 +457,12 @@ class Vectorize(Pass):
             if any(a is None for a in args):
                 return None
             return ir.VecCall(e.name, tuple(args), w, e.ty)
+        if isinstance(e, (ir.FpExt, ir.FpTrunc)) and self.mixed:
+            inner = self._widen(e.operand, var, mask)
+            if inner is None:
+                return None
+            cls = ir.VecFpExt if isinstance(e, ir.FpExt) else ir.VecFpTrunc
+            return cls(inner, w)
         if isinstance(e, ir.Select) and self.masked and mask is None:
             lane_mask = self._widen_mask(e.cond, var)
             if lane_mask is None:

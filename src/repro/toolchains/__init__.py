@@ -12,8 +12,16 @@ from repro.toolchains.cache import (
     CompileCache,
     env_fingerprint,
     kernel_fingerprint,
+    scalar_env_fingerprint,
 )
-from repro.toolchains.optlevels import OptLevel, ALL_LEVELS, flags_for
+from repro.toolchains.optlevels import (
+    ALL_LEVELS,
+    TIER_PROFILES,
+    OptLevel,
+    TierPolicy,
+    flags_for,
+    tier_policy,
+)
 from repro.toolchains.gcc import GccCompiler
 from repro.toolchains.clang import ClangCompiler
 from repro.toolchains.nvcc import NvccCompiler
@@ -27,8 +35,12 @@ __all__ = [
     "CompilerKind",
     "env_fingerprint",
     "kernel_fingerprint",
+    "scalar_env_fingerprint",
     "OptLevel",
     "ALL_LEVELS",
+    "TIER_PROFILES",
+    "TierPolicy",
+    "tier_policy",
     "flags_for",
     "GccCompiler",
     "ClangCompiler",
@@ -39,6 +51,10 @@ __all__ = [
 ]
 
 
-def default_compilers() -> list[Compiler]:
-    """The paper's compiler set: gcc, clang (host) and nvcc (device)."""
-    return [GccCompiler(), ClangCompiler(), NvccCompiler()]
+def default_compilers(tiers: str = "baseline") -> list[Compiler]:
+    """The paper's compiler set: gcc, clang (host) and nvcc (device).
+
+    ``tiers`` selects the divergence-tier profile every member compiles
+    under (see :func:`repro.toolchains.optlevels.tier_policy`).
+    """
+    return [GccCompiler(tiers=tiers), ClangCompiler(tiers=tiers), NvccCompiler(tiers=tiers)]

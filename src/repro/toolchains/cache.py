@@ -35,7 +35,25 @@ from repro.fp.env import FPEnvironment
 from repro.ir import nodes as ir
 from repro.toolchains.base import Binary
 
-__all__ = ["kernel_fingerprint", "env_fingerprint", "CacheStats", "CompileCache"]
+__all__ = [
+    "kernel_fingerprint",
+    "env_fingerprint",
+    "scalar_env_fingerprint",
+    "CacheStats",
+    "CompileCache",
+]
+
+
+def _libm_key(libm) -> tuple | None:
+    if libm is None:
+        return None
+    return (
+        type(libm).__name__,
+        libm.name,
+        getattr(libm, "max_ulps", None),
+        getattr(libm, "perturb_prob", None),
+        getattr(libm, "huge_trig_nan_prob", None),
+    )
 
 
 def kernel_fingerprint(kernel: ir.Kernel) -> str:
@@ -50,18 +68,32 @@ def kernel_fingerprint(kernel: ir.Kernel) -> str:
 
 
 def env_fingerprint(env: FPEnvironment) -> tuple:
-    """Content key of an FP environment (everything execution observes)."""
-    libm = env.libm
-    libm_key = (
-        type(libm).__name__,
-        libm.name,
-        getattr(libm, "max_ulps", None),
-        getattr(libm, "perturb_prob", None),
-        getattr(libm, "huge_trig_nan_prob", None),
-    )
+    """Content key of an FP environment (everything execution observes).
+
+    Includes the vector math library: two binaries that differ only in
+    their vec-libm binding execute differently, so they must not share
+    a run.  The vec-libm element is appended only when one is bound, so
+    environments without one fingerprint exactly as they did before the
+    tier existed (the corpus model fingerprint hashes these — a baseline
+    toolchain must not read as a new compiler model).
+    """
+    scalar = scalar_env_fingerprint(env)
+    if env.veclibm is None:
+        return scalar
+    return scalar + (_libm_key(env.veclibm),)
+
+
+def scalar_env_fingerprint(env: FPEnvironment) -> tuple:
+    """The fingerprint's scalar projection — everything but the vec-libm.
+
+    Structural-tag preconditions compare environments with this key:
+    a vectorized-libm difference is exactly what the vec-libm *tier*
+    reports, so it must not disqualify the pair from structural tagging
+    the way a genuine scalar-semantics difference does.
+    """
     return (
         env.precision.value,
-        libm_key,
+        _libm_key(env.libm),
         env.ftz,
         env.approx_div,
         env.approx_sqrt,

@@ -28,7 +28,7 @@ Differences from the gcc model that drive gcc-vs-clang inconsistencies:
 from __future__ import annotations
 
 from repro.fp.env import FPEnvironment
-from repro.fp.mathlib import FastHostLibm, HostLibm
+from repro.fp.mathlib import ClangVecLibm, FastHostLibm, HostLibm
 from repro.ir.passes import (
     ConstantFold,
     FiniteMathSimplify,
@@ -41,7 +41,7 @@ from repro.ir.passes import (
     Vectorize,
 )
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import OptLevel, if_conversion_for, vector_width_for
+from repro.toolchains.optlevels import OptLevel, TierPolicy, tier_policy
 
 __all__ = ["ClangCompiler"]
 
@@ -54,15 +54,27 @@ class ClangCompiler(Compiler):
     #: horizontal-reduction shape of the modeled clang vectorizer
     REDUCE_STYLE = "ladder"
 
+    def __init__(self, tiers: str = "baseline") -> None:
+        #: divergence-tier profile (see ``optlevels.tier_policy``)
+        self.tiers = tiers
+
+    def _policy(self, level: OptLevel) -> TierPolicy:
+        return tier_policy(self.name, level, self.tiers)
+
     def _vector_passes(self, level: OptLevel) -> list:
-        width = vector_width_for(self.name, level)
-        if not width:
+        pol = self._policy(level)
+        if not pol.vector_width:
             return []
-        masked = if_conversion_for(self.name, level)
-        passes: list = [IfConvert()] if masked else []
+        passes: list = [IfConvert()] if pol.if_convert else []
         passes += [
-            LoopUnroll(width),
-            Vectorize(width, style=self.REDUCE_STYLE, masked=masked),
+            LoopUnroll(pol.vector_width),
+            Vectorize(
+                pol.vector_width,
+                style=self.REDUCE_STYLE,
+                masked=pol.if_convert,
+                int_guards=pol.int_guards,
+                mixed=pol.mixed_precision,
+            ),
         ]
         return passes
 
@@ -90,16 +102,23 @@ class ClangCompiler(Compiler):
     def cache_token(self, level: OptLevel) -> str:
         # Mirrors :meth:`pipeline`: front-end folding at O0/O0_nofma,
         # propagating folding at O1, vectorization widths splitting O2
-        # and O3, the fast-math pipeline on top.
+        # and O3, the fast-math pipeline on top.  A non-baseline tier
+        # profile changes both pipeline and environment, so it suffixes
+        # every token.
         if level in (OptLevel.O0_NOFMA, OptLevel.O0):
-            return "O0"
-        if level is OptLevel.O1:
-            return "O1"
-        if level in (OptLevel.O2, OptLevel.O3):
-            return f"{level}+vec{vector_width_for(self.name, level)}"
-        return "O3_fastmath"
+            token = "O0"
+        elif level is OptLevel.O1:
+            token = "O1"
+        elif level in (OptLevel.O2, OptLevel.O3):
+            token = f"{level}+vec{self._policy(level).vector_width}"
+        else:
+            token = "O3_fastmath"
+        if self.tiers != "baseline":
+            token += f"+tiers:{self.tiers}"
+        return token
 
     def environment(self, level: OptLevel) -> FPEnvironment:
+        veclibm = ClangVecLibm() if self._policy(level).vec_libm else None
         if level is OptLevel.O3_FASTMATH:
-            return FPEnvironment(libm=FastHostLibm())
-        return FPEnvironment(libm=HostLibm())
+            return FPEnvironment(libm=FastHostLibm(), veclibm=veclibm)
+        return FPEnvironment(libm=HostLibm(), veclibm=veclibm)

@@ -35,10 +35,10 @@ from __future__ import annotations
 
 from repro.fp.env import FPEnvironment
 from repro.fp.formats import Precision
-from repro.fp.mathlib import CudaLibm, FastCudaLibm
+from repro.fp.mathlib import CudaLibm, FastCudaLibm, NvccVecLibm
 from repro.ir.passes import FmaContract, IfConvert, PassPipeline, Vectorize
 from repro.toolchains.base import Compiler, CompilerKind
-from repro.toolchains.optlevels import WARP_WIDTH, OptLevel
+from repro.toolchains.optlevels import OptLevel, TierPolicy, tier_policy
 
 __all__ = ["NvccCompiler"]
 
@@ -57,22 +57,35 @@ class NvccCompiler(Compiler):
         self,
         precision: Precision = Precision.DOUBLE,
         fmad_prob: float = DEFAULT_FMAD_PROB,
+        tiers: str = "baseline",
     ) -> None:
         #: kernel precision: fast-math FTZ/approx units apply to FP32 only.
         self.precision = precision
         self.fmad_prob = fmad_prob
+        #: divergence-tier profile (see ``optlevels.tier_policy``)
+        self.tiers = tiers
 
     #: warp reductions combine lanes shfl_down-style (recursive halves)
     REDUCE_STYLE = "butterfly"
 
+    def _policy(self, level: OptLevel) -> TierPolicy:
+        return tier_policy(self.name, level, self.tiers)
+
     def pipeline(self, level: OptLevel) -> PassPipeline:
-        if level is OptLevel.O0_NOFMA:
+        pol = self._policy(level)
+        if not pol.vector_width:
             return PassPipeline()
         return PassPipeline(
             [
                 FmaContract(site_prob=self.fmad_prob),
                 IfConvert(),
-                Vectorize(WARP_WIDTH, style=self.REDUCE_STYLE, masked=True),
+                Vectorize(
+                    pol.vector_width,
+                    style=self.REDUCE_STYLE,
+                    masked=True,
+                    int_guards=pol.int_guards,
+                    mixed=pol.mixed_precision,
+                ),
             ]
         )
 
@@ -83,6 +96,8 @@ class NvccCompiler(Compiler):
         # include only the family name, and two NvccCompiler instances may
         # differ.
         cfg = f"{self.precision.value},fmad={self.fmad_prob}"
+        if self.tiers != "baseline":
+            cfg += f",tiers={self.tiers}"
         if level is OptLevel.O0_NOFMA:
             return f"O0_nofma[{cfg}]"
         fast32 = (
@@ -97,11 +112,15 @@ class NvccCompiler(Compiler):
             level is OptLevel.O3_FASTMATH and self.precision is Precision.SINGLE
         )
         if fast32:
+            # The SIMT-intrinsic vector library follows fast math's
+            # single-precision scope, like the FTZ/approx units.
+            veclibm = NvccVecLibm() if self._policy(level).vec_libm else None
             return FPEnvironment(
                 precision=self.precision,
                 libm=FastCudaLibm(),
                 ftz=True,
                 approx_div=True,
                 approx_sqrt=True,
+                veclibm=veclibm,
             )
         return FPEnvironment(precision=self.precision, libm=CudaLibm())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 
 class OptLevel(enum.Enum):
@@ -84,12 +85,12 @@ WARP_WIDTH = 32
 
 
 def vector_width_for(compiler_family: str, level: OptLevel) -> int:
-    """Lanes the family's vectorizer uses at ``level`` (0 = scalar only)."""
-    if compiler_family in ("gcc", "clang"):
-        return _HOST_VECTOR_WIDTHS.get(level, 0)
-    if compiler_family == "nvcc":
-        return 0 if level is OptLevel.O0_NOFMA else WARP_WIDTH
-    raise KeyError(f"unknown compiler family {compiler_family!r}")
+    """Deprecated shim over :func:`tier_policy` — use the policy table.
+
+    Kept for callers written against the pre-registry API; equivalent to
+    ``tier_policy(compiler_family, level).vector_width``.
+    """
+    return tier_policy(compiler_family, level).vector_width
 
 
 # -- the if-conversion (masking) tier ------------------------------------------
@@ -109,10 +110,77 @@ def vector_width_for(compiler_family: str, level: OptLevel) -> int:
 _HOST_IF_CONVERT_LEVELS = frozenset({OptLevel.O3, OptLevel.O3_FASTMATH})
 
 
-def if_conversion_for(compiler_family: str, level: OptLevel) -> bool:
-    """Whether the family if-converts (masks) conditional loops at ``level``."""
-    if not vector_width_for(compiler_family, level):
-        return False
+# -- the per-compiler tier-policy table ----------------------------------------
+#
+# One :class:`TierPolicy` per (family, level, profile) answers every "does
+# this toolchain engage tier X here?" question the pipelines, environments
+# and the divergence-tier registry (:mod:`repro.tiers`) ask.  The
+# ``baseline`` profile reproduces the pre-registry behaviour exactly —
+# vector widths and if-conversion as above, no vector math library, no
+# mixed-precision or integer-guard widening — so existing campaigns replay
+# byte-identically.  The ``full`` profile additionally engages the newer
+# tiers where the modeled toolchains would:
+#
+# * ``vec_libm`` — vectorized libm calls resolve through a per-family
+#   vector math library (gcc: libmvec, clang: SLEEF-style, nvcc: SIMT
+#   intrinsics).  Real host compilers only emit vector math calls under
+#   fast math (gcc needs ``-ffast-math``/``-fno-math-errno`` to use
+#   ``_ZGV`` symbols), so the tier engages at O3_FASTMATH only.
+# * ``mixed_precision`` — ``FpExt``/``FpTrunc`` conversion sites widen
+#   with the loop body instead of blocking vectorization; engages wherever
+#   the vectorizer itself does.
+# * ``int_guards`` — trip-dependent integer guards (``if (i < m)``) widen
+#   into iota/splat masks; engages wherever if-conversion does.
+
+#: Recognized tier profiles, least to most aggressive.
+TIER_PROFILES: tuple[str, ...] = ("baseline", "full")
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Divergence-tier enablement of one (family, level, profile)."""
+
+    #: vectorizer lanes (0 = scalar only; subsumes ``vector_width_for``)
+    vector_width: int = 0
+    #: if-convert conditional bodies before widening (``if_conversion_for``)
+    if_convert: bool = False
+    #: widen integer guard comparisons into iota/splat masks
+    int_guards: bool = False
+    #: link a vector math library for vectorized call sites
+    vec_libm: bool = False
+    #: widen FpExt/FpTrunc conversion sites (mixed-precision bodies)
+    mixed_precision: bool = False
+
+
+def tier_policy(
+    compiler_family: str, level: OptLevel, profile: str = "baseline"
+) -> TierPolicy:
+    """The tier-policy table entry for ``compiler_family`` at ``level``."""
+    if profile not in TIER_PROFILES:
+        raise KeyError(f"unknown tier profile {profile!r}")
     if compiler_family in ("gcc", "clang"):
-        return level in _HOST_IF_CONVERT_LEVELS
-    return True  # nvcc: warp predication at every vectorizing level
+        width = _HOST_VECTOR_WIDTHS.get(level, 0)
+        if_conv = bool(width) and level in _HOST_IF_CONVERT_LEVELS
+    elif compiler_family == "nvcc":
+        width = 0 if level is OptLevel.O0_NOFMA else WARP_WIDTH
+        if_conv = bool(width)
+    else:
+        raise KeyError(f"unknown compiler family {compiler_family!r}")
+    if profile == "baseline" or not width:
+        return TierPolicy(vector_width=width, if_convert=if_conv)
+    return TierPolicy(
+        vector_width=width,
+        if_convert=if_conv,
+        int_guards=if_conv,
+        vec_libm=level is OptLevel.O3_FASTMATH,
+        mixed_precision=True,
+    )
+
+
+def if_conversion_for(compiler_family: str, level: OptLevel) -> bool:
+    """Deprecated shim over :func:`tier_policy` — use the policy table.
+
+    Kept for callers written against the pre-registry API; equivalent to
+    ``tier_policy(compiler_family, level).if_convert``.
+    """
+    return tier_policy(compiler_family, level).if_convert

@@ -354,7 +354,20 @@ def triage_results(
     triggers from every campaign are clustered *together*, so the same
     root cause found by different approaches, shards or backends appears
     as one finding.
+
+    When ``compilers`` is omitted they are rebuilt under the divergence-
+    tier profile the campaigns recorded, so replay-based reduction and
+    bisection observe the same matrix the campaign did.
     """
+    if compilers is None:
+        profiles = {result.tiers for _, result in results}
+        if len(profiles) > 1:
+            raise ValueError(
+                "checkpoints disagree on the divergence-tier profile "
+                f"({', '.join(sorted(profiles))}); triage them separately "
+                "or pass explicit compilers"
+            )
+        compilers = default_compilers(tiers=profiles.pop()) if profiles else None
     entries: list[TriageEntry] = []
     cache: dict = {}
     programs_seen = 0

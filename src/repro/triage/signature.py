@@ -68,11 +68,13 @@ class InconsistencySignature:
 def signature_of(record: ComparisonRecord) -> InconsistencySignature:
     """The signature of one inconsistent :class:`ComparisonRecord`.
 
-    A structural kind (``vector-reduction`` / ``masked-lane``) takes
+    A structural kind — any divergence-tier tag from :mod:`repro.tiers`
+    (``vector-reduction``, ``masked-lane``, ``vec-libm``, ...) — takes
     precedence over the value-class pair: it carries strictly more
-    information about the root cause, so triage clusters vector and
-    masked-lane divergences separately from same-class environmental
-    ones.
+    information about the root cause, so triage clusters structural
+    divergences separately from same-class environmental ones.  New
+    registry tiers flow through here (and hence into
+    :func:`repro.corpus.signature_key`) with no per-tag code.
     """
     if record.consistent:
         raise ValueError("comparison is consistent; it has no signature")

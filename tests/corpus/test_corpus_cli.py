@@ -70,6 +70,26 @@ class TestCorpusDiff:
         main(["corpus", "diff", str(corpus), str(ckpt)])
         assert capsys.readouterr().out == first
 
+    def test_divergence_tier_tags_flow_through_unchanged(self, tmp_path, capsys):
+        # The new tiers' tags ride the same outcome_signature -> signature_key
+        # path as the legacy tags: a vec-libm trigger is one corpus
+        # signature, reported exactly once and golden-stable.
+        ckpt = write_checkpoint(
+            tmp_path / "tiers.jsonl",
+            [
+                trigger_outcome(0, tag="vec-libm"),
+                trigger_outcome(1, tag="mixed-precision"),
+                trigger_outcome(2, tag="vec-libm"),
+                quiet_outcome(3),
+            ],
+        )
+        corpus = tmp_path / "corpus.jsonl"
+        assert main(["corpus", "diff", str(corpus), str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "  NEW x2 vec-libm :: gcc-clang@O3\n" in out
+        assert "  NEW x1 mixed-precision :: gcc-clang@O3\n" in out
+        assert out.count("vec-libm ::") == 1
+
     def test_diff_without_checkpoints_is_an_error(self, tmp_path, capsys):
         assert main(["corpus", "diff", str(tmp_path / "c.jsonl")]) == 2
         assert "checkpoint" in capsys.readouterr().err

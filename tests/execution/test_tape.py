@@ -56,13 +56,13 @@ def assert_parity(kernel, env, inputs, max_steps=200000):
     return tree
 
 
-def compiled_matrix(program):
+def compiled_matrix(program, tiers="baseline"):
     """Every (optimized kernel, env) the campaign would execute."""
     from repro.difftest.engine import frontend_kernels
 
     frontend = frontend_kernels(program.source)
     out = []
-    for compiler in default_compilers():
+    for compiler in default_compilers(tiers=tiers):
         kernel = frontend.kernels.get(compiler.kind)
         if kernel is None:
             continue
@@ -110,6 +110,127 @@ class TestRandomProgramParity:
             )
             for limit in sorted(limits):
                 assert_parity(binary.kernel, binary.env, program.inputs, limit)
+
+
+class TestTierNodeParity:
+    """The newer divergence tiers' lane nodes, tree vs tape.
+
+    ``VecCall`` resolving through a vector math library and the
+    mixed-precision ``VecFpExt``/``VecFpTrunc`` nodes must execute
+    bit-identically on both paths in every FP environment family, at
+    every step limit, and under ``check`` mode (which traps on any bit
+    of divergence by construction).
+    """
+
+    MIXED_CALL_SRC = (
+        "#include <stdio.h>\n#include <math.h>\n"
+        "void compute(double *a, double s, int n) {\n"
+        "  double comp = 0.0;\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    comp += sin(a[i]) * s + (float)(a[i]) * (float)(0.5 * s);\n"
+        "  }\n"
+        '  printf("%.17g\\n", comp);\n'
+        "}\n"
+        "int main(int argc, char **argv) {\n"
+        "  double in_a[8] = {atof(argv[1]), atof(argv[2]), atof(argv[3]),"
+        " atof(argv[4]), atof(argv[5]), atof(argv[6]), atof(argv[7]),"
+        " atof(argv[8])};\n"
+        "  compute(in_a, atof(argv[9]), atoi(argv[10]));\n"
+        "  return 0;\n"
+        "}\n"
+    )
+    INPUTS = ((0.37, -1.91, 2.23, 0.061, -0.77, 1.43, -2.9, 0.5), 1.7, 8)
+
+    def _vector_kernel(self):
+        """The source above widened with every tier construct enabled."""
+        from repro.ir.passes import LoopUnroll, Vectorize
+
+        kernel = lower(self.MIXED_CALL_SRC)
+        kernel = LoopUnroll(4).run(kernel)
+        return Vectorize(4, style="adjacent", mixed=True).run(kernel)
+
+    def _environments(self):
+        """Every scalar library family, with and without a vector library."""
+        from repro.fp.mathlib import (
+            ClangVecLibm,
+            CudaLibm,
+            FastCudaLibm,
+            FastHostLibm,
+            GccVecLibm,
+            HostLibm,
+            NvccVecLibm,
+        )
+
+        families = (HostLibm, CudaLibm, FastHostLibm, FastCudaLibm)
+        veclibs = (None, GccVecLibm, ClangVecLibm, NvccVecLibm)
+        for family in families:
+            for veclib in veclibs:
+                yield FPEnvironment(
+                    libm=family(),
+                    veclibm=veclib() if veclib else None,
+                    ftz=(family is FastCudaLibm),
+                )
+
+    def test_parity_across_all_environment_families(self):
+        kernel = self._vector_kernel()
+        assert any("VecCall" in type(e).__name__ for e in _all_exprs(kernel))
+        assert any("VecFpTrunc" in type(e).__name__ for e in _all_exprs(kernel))
+        for env in self._environments():
+            assert_parity(kernel, env, self.INPUTS)
+
+    def test_veclibm_lanes_diverge_from_scalar_libm(self):
+        # The tier's raison d'être: the same kernel under the same scalar
+        # library prints different bits once a vector library is linked.
+        from repro.fp.mathlib import FastHostLibm, GccVecLibm
+
+        kernel = self._vector_kernel()
+        scalar_env = FPEnvironment(libm=FastHostLibm())
+        vec_env = FPEnvironment(libm=FastHostLibm(), veclibm=GccVecLibm())
+        scalar = tree_run(kernel, scalar_env, self.INPUTS)
+        vec = assert_parity(kernel, vec_env, self.INPUTS)
+        assert scalar.ok and vec.ok
+        assert scalar.signature() != vec.signature()
+
+    def test_parity_under_every_step_limit(self):
+        from repro.fp.mathlib import FastHostLibm, GccVecLibm
+
+        kernel = self._vector_kernel()
+        env = FPEnvironment(libm=FastHostLibm(), veclibm=GccVecLibm())
+        full = tree_run(kernel, env, self.INPUTS)
+        limits = set(range(0, min(full.steps + 2, 150)))
+        limits.update(max(full.steps + d, 0) for d in (-2, -1, 0, 1, 2))
+        for limit in sorted(limits):
+            assert_parity(kernel, env, self.INPUTS, limit)
+
+    def test_check_mode_result_key_matches_tree(self):
+        from repro.fp.mathlib import CudaLibm, NvccVecLibm
+
+        kernel = self._vector_kernel()
+        env = FPEnvironment(libm=CudaLibm(), veclibm=NvccVecLibm())
+        tree = run_batch(kernel, env, (self.INPUTS,), 200000, "tree")
+        check = run_batch(kernel, env, (self.INPUTS,), 200000, "check")
+        assert [result_key(r) for r in check] == [result_key(r) for r in tree]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_tier_pipeline_programs(self, seed):
+        # Tier-heavy generator output through the real full-profile
+        # pipelines: VecCall-through-veclibm, VecFpExt/VecFpTrunc and
+        # integer iota/splat guard masks all land in the matrix.
+        gen = LoopReductionGenerator(
+            SplittableRng(500 + seed, "tape-tiers"),
+            libm_share=1.0, mixed_share=1.0, int_guard_share=1.0,
+        )
+        program = gen.generate()
+        for _, binary in compiled_matrix(program, tiers="full"):
+            assert_parity(binary.kernel, binary.env, program.inputs)
+
+
+def _all_exprs(kernel):
+    from repro.ir import nodes as ir
+
+    for s in ir.walk_stmts(kernel.body):
+        for top in ir.stmt_exprs(s):
+            yield from ir.walk(top)
 
 
 class TestDirectedParity:

@@ -324,6 +324,93 @@ int main(int argc, char **argv) {
             Vectorize(4, style="mystery")
 
 
+class TestTierFlags:
+    """The full-profile widening flags: integer guards and mixed precision.
+
+    Both default off; the baseline vectorizer must keep refusing these
+    constructs byte-for-byte so pre-registry pipelines are unchanged.
+    """
+
+    INT_GUARDED = GUARDED.replace("a[i] > 0.0", "i < n - 2")
+    MIXED = REDUCTION.replace(
+        "comp += a[i] * s + sin(s + i);",
+        "comp += (float)(a[i]) * (float)(s);",
+    )
+    # slice picked so the masked adjacent partial sums round differently
+    # from the scalar left fold (verified bitwise)
+    GUARD_INPUTS = (ARR16[5:13], 8)
+
+    def test_int_guard_refused_without_the_flag(self):
+        from repro.ir.passes import IfConvert
+
+        kernel = IfConvert().run(kernel_of(self.INT_GUARDED))
+        vec = Vectorize(4, "adjacent", masked=True).run(kernel)
+        assert vec == kernel  # integer mask: baseline declines
+
+    def test_int_guard_widens_to_iota_vs_splat_compare(self):
+        from repro.ir.passes import IfConvert
+
+        kernel = IfConvert().run(kernel_of(self.INT_GUARDED))
+        vec = Vectorize(4, "adjacent", masked=True, int_guards=True).run(kernel)
+        assert vec != kernel
+        cmps = [
+            e
+            for s in ir.walk_stmts(vec.body)
+            for top in ir.stmt_exprs(s)
+            for e in ir.walk(top)
+            if isinstance(e, ir.VecCmp)
+        ]
+        assert cmps and all(
+            isinstance(c.left, ir.VecIota) and isinstance(c.right, ir.VecSplat)
+            for c in cmps
+        )
+
+    def test_int_guard_lanes_reassociate_the_reduction(self):
+        from repro.ir.passes import IfConvert
+
+        kernel = IfConvert().run(kernel_of(self.INT_GUARDED))
+        vec = Vectorize(4, "adjacent", masked=True, int_guards=True).run(kernel)
+        assert run(vec, self.GUARD_INPUTS) != run(kernel, self.GUARD_INPUTS)
+        short = (ARR16[5:13], 3)  # below the width: the guard stays scalar
+        assert run(vec, short) == run(kernel, short)
+
+    def test_mixed_refused_without_the_flag(self):
+        kernel = kernel_of(self.MIXED)
+        assert Vectorize(4, "adjacent").run(kernel) == kernel
+
+    def test_mixed_widens_the_precision_conversions(self):
+        kernel = kernel_of(self.MIXED)
+        vec = Vectorize(4, "adjacent", mixed=True).run(kernel)
+        assert count_nodes(vec, ir.VecFpTrunc) >= 1
+        assert count_nodes(vec, ir.VecReduce) == 1
+        # the scalar epilogue loop keeps its scalar conversions
+        assert count_nodes(vec, ir.FpTrunc) >= 1
+
+    # Float32 products span enough binades here that double-precision
+    # accumulation rounds, so association order is visible; narrow-spread
+    # float terms (like ARR16's) sum *exactly* in double and would hide
+    # the reassociation.
+    MIXED_ARR16 = (
+        -857168.0368232641, -0.008670182292, -567611381.0612221,
+        -0.000436261748, -73.057777878741, -6.44769e-07,
+        17178.571051320545, 0.00836564006, 221631212.73369572,
+        -7.86303e-07, -0.557625126964, 1793125.5291513093,
+        -0.031267196541, 3.442340657534, -4.083e-09, -0.768062131208,
+    )
+
+    def test_mixed_lanes_reassociate_the_reduction(self):
+        kernel = kernel_of(self.MIXED)
+        vec = Vectorize(4, "adjacent", mixed=True).run(kernel)
+        inputs = (self.MIXED_ARR16, S, 16)
+        assert run(vec, inputs) != run(kernel, inputs)
+        short = (self.MIXED_ARR16, S, 3)
+        assert run(vec, short) == run(kernel, short)
+
+    def test_flags_default_off(self):
+        pass_ = Vectorize(4, "adjacent")
+        assert not pass_.masked and not pass_.int_guards and not pass_.mixed
+
+
 class TestVectorInterp:
     def test_reduce_styles_model_distinct_association_orders(self):
         env = FPEnvironment()

@@ -1,0 +1,227 @@
+"""The divergence-tier registry: ranks, shapes, and tag precedence."""
+
+import pytest
+
+from repro.fp.env import FPEnvironment
+from repro.fp.mathlib import ClangVecLibm, GccVecLibm, HostLibm
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import check_program
+from repro.ir import nodes as ir
+from repro.ir.lower import lower_compute
+from repro.ir.passes import IfConvert, Vectorize
+from repro.tiers import (
+    MASKED_INT_GUARD,
+    MASKED_LANE,
+    MIXED_PRECISION,
+    VEC_LIBM,
+    VECTOR_REDUCTION,
+    DivergenceTier,
+    int_guard_shape,
+    mixed_precision_shape,
+    register,
+    registry,
+    shape_vector,
+    structural_tag_from_shapes,
+    tier_by_tag,
+    tier_tags,
+    veclibm_shape,
+)
+from repro.toolchains.optlevels import TierPolicy
+
+
+def kernel_of(source):
+    return lower_compute(check_program(parse_program(source)))
+
+
+CALL_REDUCTION = """
+#include <stdio.h>
+#include <math.h>
+void compute(double *a, double s, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    comp += sin(a[i]) * s;
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) {
+  double in_a[8] = {atof(argv[1]), atof(argv[2]), atof(argv[3]), atof(argv[4]),
+                    atof(argv[5]), atof(argv[6]), atof(argv[7]), atof(argv[8])};
+  compute(in_a, atof(argv[9]), atoi(argv[10]));
+  return 0;
+}
+"""
+
+MIXED_REDUCTION = CALL_REDUCTION.replace("sin(a[i]) * s", "(float)(a[i]) * (float)(s)")
+
+GUARDED_CALL = """
+#include <stdio.h>
+#include <math.h>
+void compute(double *a, double s, int n) {
+  double comp = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (a[i] > 0.0) {
+      comp += sin(a[i]) * s;
+    }
+  }
+  printf("%.17g\\n", comp);
+}
+int main(int argc, char **argv) {
+  double in_a[8] = {atof(argv[1]), atof(argv[2]), atof(argv[3]), atof(argv[4]),
+                    atof(argv[5]), atof(argv[6]), atof(argv[7]), atof(argv[8])};
+  compute(in_a, atof(argv[9]), atoi(argv[10]));
+  return 0;
+}
+"""
+
+INT_GUARDED = GUARDED_CALL.replace("a[i] > 0.0", "i < n - 2").replace(
+    "sin(a[i]) * s", "a[i] * s"
+)
+
+
+def vectorized(source, *, width=4, style="adjacent", masked=False,
+               int_guards=False, mixed=False):
+    kernel = kernel_of(source)
+    if masked or int_guards:
+        kernel = IfConvert().run(kernel)
+    return Vectorize(
+        width, style, masked=masked, int_guards=int_guards, mixed=mixed
+    ).run(kernel)
+
+
+class TestRegistryContents:
+    def test_ranks_and_precedence_order(self):
+        tiers = registry()
+        assert [t.tag for t in tiers] == [
+            VEC_LIBM, MIXED_PRECISION, MASKED_INT_GUARD, MASKED_LANE,
+            VECTOR_REDUCTION,
+        ]
+        assert [t.rank for t in tiers] == sorted(t.rank for t in tiers)
+        assert tier_tags() == tuple(t.tag for t in tiers)
+
+    def test_policy_fields_name_real_tier_policy_fields(self):
+        fields = TierPolicy.__dataclass_fields__
+        for tier in registry():
+            assert tier.policy_field in fields
+
+    def test_tier_by_tag(self):
+        assert tier_by_tag(VEC_LIBM).rank < tier_by_tag(MASKED_LANE).rank
+
+    def test_duplicate_tag_and_rank_rejected(self):
+        existing = registry()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register(DivergenceTier(existing.tag, 999, existing.extract, "vec_libm"))
+        with pytest.raises(ValueError, match="rank"):
+            register(
+                DivergenceTier("fresh-tag", existing.rank, existing.extract, "vec_libm")
+            )
+
+
+class TestShapeExtractors:
+    def test_veclibm_shape_empty_without_library_or_calls(self):
+        kernel = vectorized(CALL_REDUCTION)
+        assert veclibm_shape(kernel, None) == ()
+        assert veclibm_shape(kernel, FPEnvironment(libm=HostLibm())) == ()
+        plain = vectorized(MIXED_REDUCTION, mixed=True)  # no calls
+        env = FPEnvironment(libm=HostLibm(), veclibm=GccVecLibm())
+        assert veclibm_shape(plain, env) == ()
+
+    def test_veclibm_shape_leads_with_library_identity(self):
+        kernel = vectorized(CALL_REDUCTION)
+        gcc_env = FPEnvironment(libm=HostLibm(), veclibm=GccVecLibm())
+        clang_env = FPEnvironment(libm=HostLibm(), veclibm=ClangVecLibm())
+        sa, sb = veclibm_shape(kernel, gcc_env), veclibm_shape(kernel, clang_env)
+        assert sa[0] == ("lib", "PerturbedLibm", "libmvec")
+        assert sb[0] == ("lib", "PerturbedLibm", "sleef")
+        assert sa[1:] == sb[1:] == (("call", "sin", 4, "double"),)
+
+    def test_mixed_precision_shape_carries_conversions_and_reductions(self):
+        kernel = vectorized(MIXED_REDUCTION, mixed=True)
+        shape = mixed_precision_shape(kernel)
+        assert ("trunc", 4) in shape
+        assert any(site[0] == "reduce" for site in shape)
+        assert mixed_precision_shape(vectorized(CALL_REDUCTION)) == ()
+
+    def test_int_guard_shape_only_for_integer_masks(self):
+        iguard = vectorized(INT_GUARDED, masked=True, int_guards=True)
+        shape = int_guard_shape(iguard)
+        assert shape and shape[0] == ("icmp", "<", 4)
+        fguard = vectorized(GUARDED_CALL, masked=True)
+        assert int_guard_shape(fguard) == ()
+
+    def test_shape_vector_is_positional_registry_order(self):
+        kernel = vectorized(CALL_REDUCTION)
+        env = FPEnvironment(libm=HostLibm(), veclibm=GccVecLibm())
+        shapes = shape_vector(kernel, env)
+        assert len(shapes) == len(registry())
+        assert shapes[0] == veclibm_shape(kernel, env)
+        assert shapes[-1][0] == ("+", 4, "adjacent")
+
+
+class TestTagPrecedence:
+    def _pair(self, source, **kwargs):
+        """The same kernel widened the gcc way and the clang way."""
+        env_a = FPEnvironment(libm=HostLibm(), veclibm=GccVecLibm())
+        env_b = FPEnvironment(libm=HostLibm(), veclibm=ClangVecLibm())
+        ka = vectorized(source, style="adjacent", **kwargs)
+        kb = vectorized(source, style="ladder", **kwargs)
+        return shape_vector(ka, env_a), shape_vector(kb, env_b)
+
+    def test_preconditions_gate_every_tag(self):
+        sa, sb = self._pair(CALL_REDUCTION)
+        assert structural_tag_from_shapes(sa, sb, False, True) is None
+        assert structural_tag_from_shapes(sa, sb, True, False) is None
+
+    def test_equal_shapes_tag_nothing(self):
+        kernel = vectorized(CALL_REDUCTION)
+        env = FPEnvironment(libm=HostLibm(), veclibm=GccVecLibm())
+        shapes = shape_vector(kernel, env)
+        assert structural_tag_from_shapes(shapes, shapes, True, True) is None
+
+    def test_masked_plus_veclibm_kernel_tags_vec_libm_deterministically(self):
+        # Satellite regression: a kernel that is simultaneously masked AND
+        # calls through a vector math library must tag the more specific
+        # family — vec-libm outranks masked-lane by explicit rank.
+        sa, sb = self._pair(GUARDED_CALL, masked=True)
+        assert sa[0] != sb[0]  # vec-libm shapes differ (lib identity)
+        assert sa[3] != sb[3]  # masked shapes differ too (reduce style)
+        for _ in range(3):
+            assert structural_tag_from_shapes(sa, sb, True, True) == VEC_LIBM
+
+    def test_reduction_style_alone_tags_vector_reduction(self):
+        env = FPEnvironment(libm=HostLibm())
+        ka = vectorized(CALL_REDUCTION, style="adjacent")
+        kb = vectorized(CALL_REDUCTION, style="ladder")
+        tag = structural_tag_from_shapes(
+            shape_vector(ka, env), shape_vector(kb, env), True, True
+        )
+        assert tag == VECTOR_REDUCTION
+
+    def test_mixed_precision_outranks_vector_reduction(self):
+        env = FPEnvironment(libm=HostLibm())
+        ka = vectorized(MIXED_REDUCTION, style="adjacent", mixed=True)
+        kb = vectorized(MIXED_REDUCTION, style="ladder", mixed=True)
+        tag = structural_tag_from_shapes(
+            shape_vector(ka, env), shape_vector(kb, env), True, True
+        )
+        assert tag == MIXED_PRECISION
+
+    def test_int_guard_outranks_masked_lane(self):
+        env = FPEnvironment(libm=HostLibm())
+        ka = vectorized(INT_GUARDED, style="adjacent", masked=True, int_guards=True)
+        kb = vectorized(INT_GUARDED, style="ladder", masked=True, int_guards=True)
+        tag = structural_tag_from_shapes(
+            shape_vector(ka, env), shape_vector(kb, env), True, True
+        )
+        assert tag == MASKED_INT_GUARD
+
+    def test_legacy_structural_tag_agrees_with_registry(self):
+        from repro.difftest.classify import masked_shape, structural_tag, vector_shape
+
+        ka = vectorized(GUARDED_CALL, style="adjacent", masked=True)
+        kb = vectorized(GUARDED_CALL, style="ladder", masked=True)
+        tag = structural_tag(
+            vector_shape(ka), vector_shape(kb),
+            masked_shape(ka), masked_shape(kb),
+            True, True,
+        )
+        assert tag == MASKED_LANE
